@@ -1,0 +1,107 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Figs. 4-7, Table I, the section IV-E case study), the
+   ablations, and a Bechamel microbenchmark suite with one Test.make per
+   reproduced artefact.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig5     # one artefact
+     dune exec bench/main.exe -- micro    # microbenchmarks only
+   Artefacts: fig4 fig5 fig6 fig7 table1 case ablation convergence shape
+   sensitivity nplanes variation nonlinear fillers micro *)
+
+module E = Ttsv_experiments
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Model_1d = Ttsv_core.Model_1d
+module Closed_form = Ttsv_core.Closed_form
+module Resistances = Ttsv_core.Resistances
+module Units = Ttsv_physics.Units
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+
+let ppf = Format.std_formatter
+
+(* one Bechamel Test.make per reproduced table/figure kernel *)
+let micro_tests () =
+  let open Bechamel in
+  let stack = Params.fig5_stack (Units.um 1.) in
+  let coeffs = Ttsv_core.Coefficients.paper_block in
+  let qs = Ttsv_geometry.Stack.heat_inputs stack in
+  let rs = Resistances.of_stack ~coeffs stack in
+  let fig4_stack = Params.fig4_stack (Units.um 10.) in
+  let fig7_stack = Params.fig7_stack () in
+  let case_stack, _ = Params.case_study () in
+  let problem = Problem.of_stack stack in
+  [
+    Test.make ~name:"fig4:model_a_solve" (Staged.stage (fun () -> Model_a.solve ~coeffs fig4_stack));
+    Test.make ~name:"fig5:model_b_100" (Staged.stage (fun () -> Model_b.solve_n stack 100));
+    Test.make ~name:"table1:model_b_500" (Staged.stage (fun () -> Model_b.solve_n stack 500));
+    Test.make ~name:"fig6:closed_form_3plane"
+      (Staged.stage (fun () -> Closed_form.solve rs ~q1:qs.(0) ~q2:qs.(1) ~q3:qs.(2)));
+    Test.make ~name:"fig7:cluster_eq22"
+      (Staged.stage (fun () -> Ttsv_core.Cluster.solve ~coeffs fig7_stack 9));
+    Test.make ~name:"case:model_b_1000" (Staged.stage (fun () -> Model_b.solve_n case_stack 1000));
+    Test.make ~name:"case:model_1d" (Staged.stage (fun () -> Model_1d.solve case_stack));
+    Test.make ~name:"ref:fv_assemble_solve" (Staged.stage (fun () -> Solver.solve problem));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  E.Report.heading ppf "Microbenchmarks (Bechamel, one per table/figure kernel)";
+  Format.fprintf ppf "@.";
+  let tests = Test.make_grouped ~name:"ttsv" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] ->
+        Format.fprintf ppf "%-32s %12.1f ns/run (%.3f ms)@." name ns (ns /. 1e6)
+      | Some _ | None -> Format.fprintf ppf "%-32s (no estimate)@." name)
+    rows
+
+let artefacts : (string * (unit -> unit)) list =
+  [
+    ("fig4", fun () -> E.Fig4.print ppf ());
+    ("fig5", fun () -> E.Fig5.print ppf ());
+    ("fig6", fun () -> E.Fig6.print ppf ());
+    ("fig7", fun () -> E.Fig7.print ppf ());
+    ("table1", fun () -> E.Table1.print ppf ());
+    ("case", fun () -> E.Case_study.print ppf ());
+    ("ablation", fun () -> E.Ablation.print ppf ());
+    ("convergence", fun () -> E.Convergence.print ppf ());
+    ("shape", fun () -> E.Shape.print ppf ());
+    ("sensitivity", fun () -> E.Sensitivity.print ppf ());
+    ("nplanes", fun () -> E.Nplanes.print ppf ());
+    ("variation", fun () -> E.Variation.print ppf ());
+    ("nonlinear", fun () -> E.Nonlinear_study.print ppf ());
+    ("fillers", fun () -> E.Fillers.print ppf ());
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ :: [] | [] -> List.map fst artefacts
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artefacts with
+      | Some run ->
+        Format.fprintf ppf "@.=== %s ===@." name;
+        run ()
+      | None ->
+        Format.eprintf "unknown artefact %S; known: %s@." name
+          (String.concat " " (List.map fst artefacts));
+        exit 2)
+    requested

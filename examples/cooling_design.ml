@@ -1,0 +1,71 @@
+(* Cooling design: close the loop from the die to the ambient.  The paper's
+   models give the on-die rise above the heat sink; a real design adds the
+   package — heat spreader, thermal interface, sink-to-air — and must keep
+   the junction below a limit.  This example sizes that chain with the
+   spreading-resistance primitive and the package model.
+
+     dune exec examples/cooling_design.exe *)
+
+module Units = Ttsv_physics.Units
+module Stack = Ttsv_geometry.Stack
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Package = Ttsv_core.Package
+module Spreading = Ttsv_core.Spreading
+
+let junction_limit = 85. (* C *)
+let ambient = 35. (* C, worst-case enclosure *)
+
+let () =
+  (* the DRAM-uP system of section IV-E: 84 W total, TTSV-cooled stack *)
+  let stack, count = Params.case_study () in
+  let cell = Model_a.solve ~coeffs:Params.case_study_coeffs stack in
+  let die_rise = Model_a.max_rise cell in
+  let total_power = 84. in
+  Format.printf "die: %d TTSVs, on-die rise above the sink surface = %.1f K at %g W@.@." count
+    die_rise total_power;
+
+  (* spreader: the 10 mm x 10 mm die feeds a 40 mm x 40 mm copper spreader
+     2 mm thick; its constriction resistance comes from the Lee model
+     (areas mapped to equivalent-radius discs) *)
+  let die_radius = sqrt (Units.mm 10. *. Units.mm 10. /. Float.pi) in
+  let spreader_radius = sqrt (Units.mm 40. *. Units.mm 40. /. Float.pi) in
+  let r_spread =
+    Spreading.resistance ~source_radius:die_radius ~cell_radius:spreader_radius
+      ~thickness:(Units.mm 2.) ~conductivity:400. ()
+  in
+  let factor =
+    Spreading.spreading_factor ~source_radius:die_radius ~cell_radius:spreader_radius
+      ~thickness:(Units.mm 2.) ~conductivity:400.
+  in
+  Format.printf "copper spreader: R = %.4f K/W (constriction factor %.1fx over 1-D)@." r_spread
+    factor;
+
+  (* how good must the heat sink be? *)
+  let pkg0 = Package.make ~ambient ~resistance:r_spread () in
+  let r_sink_max =
+    Package.required_resistance pkg0 ~total_power ~model_rise:die_rise ~junction_limit
+    -. r_spread
+  in
+  Format.printf "junction limit %.0f C at %.0f C ambient -> sink-to-air must beat %.3f K/W@.@."
+    junction_limit ambient r_sink_max;
+
+  (* check a candidate sink and report the full budget *)
+  let candidates = [ ("passive extrusion", 0.9); ("active tower", 0.35); ("liquid loop", 0.12) ] in
+  Format.printf "%-20s %12s %12s %8s@." "sink" "R [K/W]" "junction [C]" "meets";
+  List.iter
+    (fun (label, r_sink) ->
+      let pkg = Package.of_parts ~ambient ~spreader:r_spread ~sink_to_air:r_sink () in
+      let tj = Package.junction_temperature pkg ~total_power ~model_rise:die_rise in
+      Format.printf "%-20s %12.3f %12.1f %8s@." label r_sink tj
+        (if tj <= junction_limit then "yes" else "no"))
+    candidates;
+
+  (* and the headroom question DVFS asks: max sustainable power *)
+  let pkg = Package.of_parts ~ambient ~spreader:r_spread ~sink_to_air:0.35 () in
+  let rise_per_watt = die_rise /. total_power in
+  let p_max =
+    Package.max_power_for_junction pkg ~model_rise_per_watt:rise_per_watt ~junction_limit
+  in
+  Format.printf "@.with the active tower, the stack sustains %.1f W before hitting %.0f C@."
+    p_max junction_limit

@@ -1,0 +1,93 @@
+(* TTSV planning: the use case that motivates the paper's models.  Given a
+   temperature budget, search the (radius, count) design space for the array
+   that meets the budget with the least silicon spent on vias — TTSVs are "a
+   critical resource in 3-D ICs" (paper, section V).
+
+   The closed-form three-plane solution makes each candidate evaluation a
+   few hundred nanoseconds, so exhaustive scanning is practical: exactly the
+   payoff the paper promises over FEM-in-the-loop planning.
+
+     dune exec examples/planner.exe *)
+
+module Units = Ttsv_physics.Units
+module Tsv = Ttsv_geometry.Tsv
+module Plane = Ttsv_geometry.Plane
+module Stack = Ttsv_geometry.Stack
+module Closed_form = Ttsv_core.Closed_form
+module Coefficients = Ttsv_core.Coefficients
+
+let chip_area = Units.mm 5. *. Units.mm 5.
+let budget_k = 15. (* max allowed rise above the heat sink *)
+let plane_watts = [| 20.; 4.; 4. |]
+
+(* one uniform unit cell of the candidate array *)
+let stack_for ~radius_um ~count =
+  let tsv =
+    Tsv.make ~radius:(Units.um radius_um) ~liner_thickness:(Units.um 1.)
+      ~extension:(Units.um 1.) ()
+  in
+  let cell_area = chip_area /. float_of_int count in
+  if Tsv.occupied_area tsv >= cell_area then None
+  else begin
+    let t_device = Units.um 1. in
+    let plane ~watts ~first =
+      Plane.make ~t_substrate:(Units.um 200.) ~t_ild:(Units.um 10.)
+        ~t_bond:(Units.um (if first then 0. else 5.))
+        ~t_device
+        ~device_power_density:(watts /. (chip_area *. t_device))
+        ()
+    in
+    Some
+      (Stack.make ~footprint:cell_area
+         ~planes:
+           [
+             plane ~watts:plane_watts.(0) ~first:true;
+             plane ~watts:plane_watts.(1) ~first:false;
+             plane ~watts:plane_watts.(2) ~first:false;
+           ]
+         ~tsv ())
+  end
+
+let rise stack = Closed_form.max_rise (Closed_form.of_stack ~coeffs:Coefficients.paper_block stack)
+
+let () =
+  Format.printf "budget: max dT <= %.1f K on a %.0f mm^2 three-plane stack (%.0f W total)@.@."
+    budget_k (chip_area *. 1e6)
+    (Array.fold_left ( +. ) 0. plane_watts);
+  let radii = [ 2.; 3.; 5.; 8.; 10.; 15.; 20.; 30. ] in
+  let counts = [ 50; 100; 200; 400; 800; 1600; 3200; 6400; 12800 ] in
+  let evaluations = ref 0 in
+  let best = ref None in
+  Format.printf "%10s %10s %14s %12s %10s@." "r [um]" "count" "metal [mm^2]" "dT [K]" "meets";
+  List.iter
+    (fun radius_um ->
+      List.iter
+        (fun count ->
+          match stack_for ~radius_um ~count with
+          | None -> ()
+          | Some stack ->
+            incr evaluations;
+            let dt = rise stack in
+            let metal =
+              float_of_int count *. Float.pi *. Units.um radius_um *. Units.um radius_um
+            in
+            let ok = dt <= budget_k in
+            (* report a sparse sample of the space plus every feasible point *)
+            if ok || count >= 3200 then
+              Format.printf "%10.1f %10d %14.4f %12.2f %10s@." radius_um count (metal *. 1e6)
+                dt
+                (if ok then "yes" else "no");
+            if ok then
+              match !best with
+              | Some (_, _, m) when m <= metal -> ()
+              | _ -> best := Some (radius_um, count, metal))
+        counts)
+    radii;
+  Format.printf "@.%d candidate arrays evaluated through the closed form@." !evaluations;
+  match !best with
+  | Some (r, c, metal) ->
+    Format.printf "cheapest feasible array: %d TTSVs of r=%.1f um (%.4f mm^2 of via metal, \
+                   %.2f%% of the chip)@."
+      c r (metal *. 1e6)
+      (100. *. metal /. chip_area)
+  | None -> Format.printf "no candidate meets the budget - enlarge the search space@."

@@ -1,0 +1,57 @@
+(* Electro-thermal co-analysis: when a power-delivery TSV carries real
+   current, its I^2 R(T) dissipation turns the cooling via into a heater.
+   This example sweeps the current, resolves the coupled operating point,
+   and finds the maximum current a thermal budget allows — alongside the
+   signal-integrity numbers (R, C, L, delay) a TSV datasheet would quote.
+
+     dune exec examples/power_delivery.exe *)
+
+module Units = Ttsv_physics.Units
+module Params = Ttsv_core.Params
+module Stack = Ttsv_geometry.Stack
+module Parasitics = Ttsv_electrical.Parasitics
+module Joule = Ttsv_electrical.Joule
+
+let sink_k = Units.kelvin_of_celsius 27.
+
+let () =
+  let stack = Params.block () in
+  let length = Stack.tsv_length stack in
+  let radius = stack.Stack.tsv.Ttsv_geometry.Tsv.radius in
+
+  (* datasheet corner: parasitics at 100 C *)
+  let temp_k = Units.kelvin_of_celsius 100. in
+  let r_dc = Parasitics.dc_resistance Parasitics.copper ~radius ~length ~temp_k in
+  let r_5g =
+    Parasitics.ac_resistance Parasitics.copper ~radius ~length ~frequency:5e9 ~temp_k
+  in
+  let c_ox =
+    Parasitics.oxide_capacitance ~radius
+      ~liner_thickness:stack.Stack.tsv.Ttsv_geometry.Tsv.liner_thickness ~length ()
+  in
+  let l_self = Parasitics.self_inductance ~radius ~length in
+  Format.printf "TSV parasitics (r=%.0f um, l=%.0f um, 100 C):@." (Units.to_um radius)
+    (Units.to_um length);
+  Format.printf "  R(dc)    = %.2f mOhm@." (r_dc *. 1e3);
+  Format.printf "  R(5 GHz) = %.2f mOhm (skin effect)@." (r_5g *. 1e3);
+  Format.printf "  C(liner) = %.1f fF@." (c_ox *. 1e15);
+  Format.printf "  L(self)  = %.1f pH@." (l_self *. 1e12);
+  Format.printf "  RC delay = %.3f fs@.@." (Parasitics.rc_delay ~resistance:r_dc ~capacitance:c_ox *. 1e15);
+
+  (* coupled electro-thermal sweep *)
+  Format.printf "%10s %12s %14s %14s %12s@." "I [A]" "P [mW]" "via T [C]" "max dT [K]"
+    "vs no I";
+  List.iter
+    (fun i ->
+      let r = Joule.solve ~sink_temperature_k:sink_k ~current_rms:i stack in
+      Format.printf "%10.2f %12.3f %14.2f %14.3f %+11.3f@." i
+        (r.Joule.joule_power *. 1e3)
+        (Units.celsius_of_kelvin r.Joule.via_temperature)
+        r.Joule.rise
+        (r.Joule.rise -. r.Joule.baseline_rise))
+    [ 0.; 0.25; 0.5; 1.; 1.5; 2. ];
+
+  let baseline = (Joule.solve ~sink_temperature_k:sink_k ~current_rms:0. stack).Joule.rise in
+  let budget = baseline +. 3. in
+  let imax = Joule.max_current_for_rise ~sink_temperature_k:sink_k ~budget stack in
+  Format.printf "@.a +3 K self-heating budget caps the via at %.2f A rms@." imax

@@ -1,0 +1,64 @@
+(* Quickstart: build a three-plane 3-D IC unit cell with one thermal TSV and
+   compare every model on it.
+
+     dune exec examples/quickstart.exe *)
+
+module Units = Ttsv_physics.Units
+module Tsv = Ttsv_geometry.Tsv
+module Plane = Ttsv_geometry.Plane
+module Stack = Ttsv_geometry.Stack
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Model_1d = Ttsv_core.Model_1d
+module Coefficients = Ttsv_core.Coefficients
+
+let () =
+  (* 1. describe the TTSV: a 5 um copper via with a 1 um SiO2 liner that
+        dips 1 um into the first substrate *)
+  let tsv =
+    Tsv.make ~radius:(Units.um 5.) ~liner_thickness:(Units.um 1.) ~extension:(Units.um 1.) ()
+  in
+
+  (* 2. describe the planes, heat-sink side first; each has a silicon
+        substrate, an ILD/BEOL layer, and (above the first) a bonding layer.
+        Power: 700 W/mm^3 in a 1 um device layer, 70 W/mm^3 in the ILD. *)
+  let plane ~first =
+    Plane.make
+      ~t_substrate:(Units.um (if first then 500. else 45.))
+      ~t_ild:(Units.um 4.)
+      ~t_bond:(Units.um (if first then 0. else 1.))
+      ~t_device:(Units.um 1.)
+      ~device_power_density:(Units.w_per_mm3 700.)
+      ~ild_power_density:(Units.w_per_mm3 70.) ()
+  in
+
+  (* 3. a 100 um x 100 um unit cell holding that TTSV *)
+  let stack =
+    Stack.make
+      ~footprint:(Units.um2 (100. *. 100.))
+      ~planes:[ plane ~first:true; plane ~first:false; plane ~first:false ]
+      ~tsv ()
+  in
+
+  Format.printf "%a@.@." Stack.pp stack;
+  Format.printf "heat per plane: %a W@.@." Ttsv_numerics.Vec.pp (Stack.heat_inputs stack);
+
+  (* 4. Model A (lumped network, with the paper's fitted coefficients) *)
+  let a = Model_a.solve ~coeffs:Coefficients.paper_block stack in
+  Format.printf "Model A      : max dT = %.2f K (T0 %.2f, planes %.2f / %.2f / %.2f)@."
+    (Model_a.max_rise a) a.Model_a.t0 a.Model_a.bulk.(0) a.Model_a.bulk.(1) a.Model_a.bulk.(2);
+
+  (* 5. Model B (distributed, no fitting coefficients) at 100 segments *)
+  let b = Model_b.solve_n stack 100 in
+  Format.printf "Model B(100) : max dT = %.2f K (%d unknowns solved)@." (Model_b.max_rise b)
+    b.Model_b.nodes;
+
+  (* 6. the traditional 1-D model the paper improves upon *)
+  let d = Model_1d.solve stack in
+  Format.printf "Model 1D     : max dT = %.2f K  <- overestimates: no lateral liner path@."
+    (Model_1d.max_rise d);
+
+  (* 7. how much heat does the via actually move? *)
+  Format.printf "@.heat delivered to the sink through the TTSV: %.2f%% of %.1f mW@."
+    (100. *. a.Model_a.tsv_heat /. Stack.total_heat stack)
+    (1000. *. Stack.total_heat stack)

@@ -1,0 +1,92 @@
+type options = { budget : float; step : float; max_density : float; max_iterations : int }
+
+let default_options ~budget =
+  if budget <= 0. then invalid_arg "Allocation.default_options: budget must be positive";
+  { budget; step = 0.002; max_density = 0.2; max_iterations = 2000 }
+
+type outcome = {
+  densities : Chip_model.densities;
+  final : Chip_model.result;
+  iterations : int;
+  feasible : bool;
+  metal_area : float;
+  history : float array;
+}
+
+let metal_area chip ds =
+  let tile =
+    chip.Chip_model.width /. float_of_int chip.Chip_model.nx
+    *. (chip.Chip_model.height /. float_of_int chip.Chip_model.ny)
+  in
+  Array.fold_left (fun acc d -> acc +. (d *. tile)) 0. ds
+
+let validate_options o =
+  if o.budget <= 0. then invalid_arg "Allocation.allocate: budget must be positive";
+  if o.step <= 0. then invalid_arg "Allocation.allocate: step must be positive";
+  if o.max_density <= 0. || o.max_density >= 1. then
+    invalid_arg "Allocation.allocate: max_density outside (0, 1)";
+  if o.max_iterations < 1 then invalid_arg "Allocation.allocate: max_iterations must be >= 1"
+
+let allocate chip power o =
+  validate_options o;
+  let nx = chip.Chip_model.nx and ny = chip.Chip_model.ny in
+  let ds = Array.make (nx * ny) 0. in
+  let history = ref [] in
+  let rec loop iter result =
+    history := result.Chip_model.max_rise :: !history;
+    if result.Chip_model.max_rise <= o.budget then (iter, result, true)
+    else if iter >= o.max_iterations then (iter, result, false)
+    else begin
+      (* grow the via column under the hottest tile; if that column is
+         saturated, fall back to the hottest unsaturated tile across the
+         whole top plane *)
+      let _, hx, hy = result.Chip_model.hottest in
+      let saturated i = ds.(i) >= o.max_density -. 1e-12 in
+      let target =
+        let i = (hy * nx) + hx in
+        if not (saturated i) then Some i
+        else begin
+          (* hottest unsaturated tile of the hottest plane *)
+          let top = result.Chip_model.rises.(Array.length result.Chip_model.rises - 1) in
+          let best = ref None in
+          Array.iteri
+            (fun j r ->
+              if not (saturated j) then
+                match !best with
+                | Some (_, rb) when rb >= r -> ()
+                | _ -> best := Some (j, r))
+            top;
+          Option.map fst !best
+        end
+      in
+      match target with
+      | None -> (iter, result, false) (* every tile saturated *)
+      | Some i ->
+        ds.(i) <- Float.min o.max_density (ds.(i) +. o.step);
+        loop (iter + 1) (Chip_model.solve chip ds power)
+    end
+  in
+  let iterations, final, feasible = loop 0 (Chip_model.solve chip ds power) in
+  {
+    densities = ds;
+    final;
+    iterations;
+    feasible;
+    metal_area = metal_area chip ds;
+    history = Array.of_list (List.rev !history);
+  }
+
+let pp_densities chip ds ppf =
+  let nx = chip.Chip_model.nx in
+  let peak = Array.fold_left Float.max 1e-30 ds in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i d ->
+      if i > 0 && i mod nx = 0 then Format.pp_print_cut ppf ();
+      let c =
+        if d <= 0. then '.'
+        else Char.chr (Char.code '1' + Stdlib.min 8 (int_of_float (d /. peak *. 8.999)))
+      in
+      Format.pp_print_char ppf c)
+    ds;
+  Format.fprintf ppf "@]"

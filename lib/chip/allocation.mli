@@ -1,0 +1,43 @@
+(** Thermal-via allocation (the paper's motivating methodology, cf. its
+    refs. [4], [5]).
+
+    Given a chip model, per-plane power maps and a temperature budget,
+    allocate per-tile TTSV density so the budget is met with as little
+    via metal as possible — "a critical resource in 3-D ICs" (paper §V).
+
+    The allocator is the classic greedy loop the TSV-planning literature
+    uses: solve the compact model, find the hottest tile column, add via
+    density there, repeat.  Each solve is a compact-network evaluation,
+    which is exactly what makes model-in-the-loop planning affordable
+    compared to FEM (the paper's closing argument). *)
+
+type options = {
+  budget : float;  (** maximum allowed rise above the sink, K *)
+  step : float;  (** density added to the chosen tile per iteration *)
+  max_density : float;  (** per-tile density cap, < 1 *)
+  max_iterations : int;
+}
+
+val default_options : budget:float -> options
+(** [step = 0.002], [max_density = 0.2], [max_iterations = 2000]. *)
+
+type outcome = {
+  densities : Chip_model.densities;  (** the final per-tile allocation *)
+  final : Chip_model.result;  (** chip solution at that allocation *)
+  iterations : int;
+  feasible : bool;  (** whether the budget was met *)
+  metal_area : float;  (** total via metal allocated, m² *)
+  history : float array;  (** max rise after each iteration (including start) *)
+}
+
+val allocate : Chip_model.t -> Power_map.t list -> options -> outcome
+(** [allocate chip power opts] runs the greedy loop from an empty
+    allocation.  Infeasible problems (budget unreachable even at the cap
+    everywhere) terminate with [feasible = false] when every tile is
+    saturated or the iteration cap is hit. *)
+
+val metal_area : Chip_model.t -> Chip_model.densities -> float
+(** Total via metal a density allocation spends, m². *)
+
+val pp_densities : Chip_model.t -> Chip_model.densities -> Format.formatter -> unit
+(** ASCII map of the allocation ('.' = none, '1'-'9' scaled to the cap). *)

@@ -1,0 +1,222 @@
+module Plane = Ttsv_geometry.Plane
+module Tsv = Ttsv_geometry.Tsv
+module Material = Ttsv_physics.Material
+module Coefficients = Ttsv_core.Coefficients
+module Circuit = Ttsv_network.Circuit
+
+type t = {
+  width : float;
+  height : float;
+  nx : int;
+  ny : int;
+  planes : Plane.t list;
+  tsv : Tsv.t;
+  coeffs : Coefficients.t;
+}
+
+let make ?(coeffs = Coefficients.unity) ~width ~height ~nx ~ny ~planes ~tsv () =
+  if width <= 0. || height <= 0. then invalid_arg "Chip_model.make: extent must be positive";
+  if nx < 1 || ny < 1 then invalid_arg "Chip_model.make: grid must be positive";
+  (match planes with
+  | [] -> invalid_arg "Chip_model.make: at least one plane"
+  | first :: rest ->
+    if first.Plane.t_bond <> 0. then
+      invalid_arg "Chip_model.make: the first plane must have no bond";
+    List.iter
+      (fun p ->
+        if p.Plane.t_bond <= 0. then
+          invalid_arg "Chip_model.make: upper planes need a bonding layer")
+      rest;
+    if tsv.Tsv.extension >= first.Plane.t_substrate then
+      invalid_arg "Chip_model.make: TSV extension exceeds the first substrate");
+  { width; height; nx; ny; planes; tsv; coeffs }
+
+type densities = float array
+
+let tile_area chip = chip.width /. float_of_int chip.nx *. (chip.height /. float_of_int chip.ny)
+
+let uniform_density chip d =
+  if d < 0. || d >= 1. then invalid_arg "Chip_model.uniform_density: density outside [0, 1)";
+  Array.make (chip.nx * chip.ny) d
+
+let vias_per_tile chip ds x y =
+  let d = ds.((y * chip.nx) + x) in
+  d *. tile_area chip /. Tsv.fill_area chip.tsv
+
+type result = {
+  grid_nx : int;
+  rises : float array array;
+  max_rise : float;
+  hottest : int * int * int;
+  sink_heat : float;
+}
+
+(* Vertical span of the TTSV segment in plane i (the eq. 7-16 spans). *)
+let span chip i (p : Plane.t) =
+  let n = List.length chip.planes in
+  if i = 0 then p.Plane.t_ild +. chip.tsv.Tsv.extension
+  else if i = n - 1 then p.Plane.t_bond +. p.Plane.t_substrate
+  else p.Plane.t_bond +. p.Plane.t_substrate +. p.Plane.t_ild
+
+(* Per-layer t/k sum over plane i's bulk path (eqs. 7, 10, 13). *)
+let bulk_layers chip i (p : Plane.t) =
+  let n = List.length chip.planes in
+  let k_of (m : Material.t) = m.Material.conductivity in
+  let ild = p.Plane.t_ild /. k_of p.Plane.ild in
+  let bond = p.Plane.t_bond /. k_of p.Plane.bond in
+  if i = 0 then ild +. (chip.tsv.Tsv.extension /. k_of p.Plane.substrate)
+  else if i = n - 1 then ild +. (p.Plane.t_substrate /. k_of p.Plane.substrate) +. bond
+  else ild +. (p.Plane.t_substrate /. k_of p.Plane.substrate) +. bond
+
+let solve chip ds power =
+  let nx = chip.nx and ny = chip.ny in
+  let nplanes = List.length chip.planes in
+  if Array.length ds <> nx * ny then invalid_arg "Chip_model.solve: densities length mismatch";
+  Array.iter
+    (fun d -> if d < 0. || d >= 1. then invalid_arg "Chip_model.solve: density outside [0, 1)")
+    ds;
+  if List.length power <> nplanes then
+    invalid_arg "Chip_model.solve: one power map per plane required";
+  List.iter
+    (fun m ->
+      if Power_map.nx m <> nx || Power_map.ny m <> ny then
+        invalid_arg "Chip_model.solve: power-map grid mismatch")
+    power;
+  let at = tile_area chip in
+  let { Coefficients.k1; k2 } = chip.coeffs in
+  let k_of (m : Material.t) = m.Material.conductivity in
+  let k_fill = k_of chip.tsv.Tsv.filler and k_liner = k_of chip.tsv.Tsv.liner in
+  let fill = Tsv.fill_area chip.tsv and occupied = Tsv.occupied_area chip.tsv in
+  let first = List.hd chip.planes in
+  let c = Circuit.create () in
+  let ground = Circuit.ground c in
+  let tile x y = (y * nx) + x in
+  (* nodes *)
+  let t0 =
+    Array.init (nx * ny) (fun i -> Circuit.add_node c (Printf.sprintf "t0[%d]" i))
+  in
+  let bulk =
+    Array.init nplanes (fun j ->
+        Array.init (nx * ny) (fun i -> Circuit.add_node c (Printf.sprintf "b%d[%d]" j i)))
+  in
+  let via =
+    Array.init (Stdlib.max 0 (nplanes - 1)) (fun j ->
+        Array.init (nx * ny) (fun i ->
+            if ds.(i) > 0. then Some (Circuit.add_node c (Printf.sprintf "v%d[%d]" j i))
+            else None))
+  in
+  (* per-tile vertical ladders *)
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let i = tile x y in
+      let n_vias = ds.(i) *. at /. fill in
+      let a_eff = at -. (n_vias *. occupied) in
+      if a_eff <= 0. then
+        invalid_arg
+          (Printf.sprintf "Chip_model.solve: vias exceed tile (%d,%d) area" x y);
+      (* sink path through the thick first substrate *)
+      Circuit.add_resistor c t0.(i) ground
+        ((first.Plane.t_substrate -. chip.tsv.Tsv.extension)
+        /. (k1 *. k_of first.Plane.substrate *. at));
+      List.iteri
+        (fun j p ->
+          let below_bulk = if j = 0 then t0.(i) else bulk.(j - 1).(i) in
+          Circuit.add_resistor c below_bulk bulk.(j).(i)
+            (bulk_layers chip j p /. (k1 *. a_eff));
+          if n_vias > 0. then begin
+            let sp = span chip j p in
+            let tsv_r = sp /. (k1 *. k_fill *. n_vias *. fill) in
+            let liner_r =
+              log (Tsv.outer_radius chip.tsv /. chip.tsv.Tsv.radius)
+              /. (2. *. Float.pi *. k2 *. k_liner *. sp *. n_vias)
+            in
+            if j < nplanes - 1 then begin
+              let v = Option.get via.(j).(i) in
+              let below_via = if j = 0 then t0.(i) else Option.get via.(j - 1).(i) in
+              Circuit.add_resistor c below_via v tsv_r;
+              Circuit.add_resistor c bulk.(j).(i) v liner_r
+            end
+            else if nplanes = 1 then
+              Circuit.add_resistor c t0.(i) bulk.(j).(i) (tsv_r +. liner_r)
+            else
+              (* top plane: filler + liner in series into the top bulk node *)
+              Circuit.add_resistor c
+                (Option.get via.(j - 1).(i))
+                bulk.(j).(i) (tsv_r +. liner_r)
+          end)
+        chip.planes
+    done
+  done;
+  (* lateral spreading within each silicon layer *)
+  let dx = chip.width /. float_of_int nx and dy = chip.height /. float_of_int ny in
+  let lateral nodes thickness k =
+    if thickness > 0. then begin
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 2 do
+          Circuit.add_resistor c nodes.(tile x y) nodes.(tile (x + 1) y)
+            (dx /. (k *. thickness *. dy))
+        done
+      done;
+      for y = 0 to ny - 2 do
+        for x = 0 to nx - 1 do
+          Circuit.add_resistor c nodes.(tile x y) nodes.(tile x (y + 1))
+            (dy /. (k *. thickness *. dx))
+        done
+      done
+    end
+  in
+  if nx > 1 || ny > 1 then begin
+    lateral t0
+      (first.Plane.t_substrate -. chip.tsv.Tsv.extension)
+      (k_of first.Plane.substrate);
+    List.iteri
+      (fun j (p : Plane.t) ->
+        let th = if j = 0 then chip.tsv.Tsv.extension else p.Plane.t_substrate in
+        lateral bulk.(j) th (k_of p.Plane.substrate))
+      chip.planes
+  end;
+  (* heat injection *)
+  List.iteri
+    (fun j m ->
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 1 do
+          let w = Power_map.get m x y in
+          if w > 0. then Circuit.add_heat_source c bulk.(j).(tile x y) w
+        done
+      done)
+    power;
+  let sol = Circuit.solve c in
+  let rises =
+    Array.init nplanes (fun j -> Array.map (Circuit.temperature sol) bulk.(j))
+  in
+  let max_rise = ref 0. and hottest = ref (0, 0, 0) in
+  Array.iteri
+    (fun j plane_rises ->
+      Array.iteri
+        (fun i r ->
+          if r > !max_rise then begin
+            max_rise := r;
+            hottest := (j, i mod nx, i / nx)
+          end)
+        plane_rises)
+    rises;
+  let sink_heat =
+    Array.fold_left
+      (fun acc n -> acc +. Circuit.branch_heat_flow sol n ground)
+      0. t0
+  in
+  { grid_nx = nx; rises; max_rise = !max_rise; hottest = !hottest; sink_heat }
+
+let rise_at result ~plane ~x ~y = result.rises.(plane).((y * result.grid_nx) + x)
+
+let pp_plane result ~plane ppf =
+  let row = result.rises.(plane) in
+  let peak = Float.max 1e-30 result.max_rise in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 && i mod result.grid_nx = 0 then Format.pp_print_cut ppf ();
+      Format.pp_print_char ppf
+        (Char.chr (Char.code '0' + Stdlib.min 9 (int_of_float (r /. peak *. 9.999)))))
+    row;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,74 @@
+(** Full-chip compact thermal model (extension beyond the paper).
+
+    The paper analyzes one TTSV unit cell; real floorplans have non-uniform
+    power and non-uniform via allocation.  This module tiles each plane
+    into an nx × ny grid and builds the compact network the paper's
+    related work ([10], [11]) describes, with the paper's TTSV model
+    embedded in every tile:
+
+    - per tile, the vertical eq. 7–16 ladder (bulk chain, TTSV chain where
+      the tile has vias, lateral liner rungs), with the tile's via count
+      entering as parallel conductance;
+    - per plane, lateral silicon-spreading resistors between adjacent
+      tiles (and between the thick first-substrate nodes);
+    - per tile, R_s to the isothermal heat sink.
+
+    The via count per tile is real-valued: a density is a continuous
+    design variable for the allocator, and conductances scale linearly in
+    it.  A single-tile chip with one via degenerates exactly to Model A —
+    asserted by the test suite. *)
+
+type t = {
+  width : float;  (** chip extent in x, m *)
+  height : float;  (** chip extent in y, m *)
+  nx : int;
+  ny : int;
+  planes : Ttsv_geometry.Plane.t list;  (** plane geometry (power fields unused) *)
+  tsv : Ttsv_geometry.Tsv.t;  (** via type used wherever the density is positive *)
+  coeffs : Ttsv_core.Coefficients.t;
+}
+
+val make :
+  ?coeffs:Ttsv_core.Coefficients.t ->
+  width:float ->
+  height:float ->
+  nx:int ->
+  ny:int ->
+  planes:Ttsv_geometry.Plane.t list ->
+  tsv:Ttsv_geometry.Tsv.t ->
+  unit ->
+  t
+(** Validates dimensions (positive extent and grid, at least one plane,
+    first plane bondless, the rest bonded — the {!Ttsv_geometry.Stack}
+    rules). *)
+
+type densities = float array
+(** Row-major per-tile TTSV area density (fraction of the tile's area that
+    is via metal), length [nx * ny]. *)
+
+val uniform_density : t -> float -> densities
+(** [uniform_density chip d] is [d] everywhere; [0 <= d < 1]. *)
+
+val vias_per_tile : t -> densities -> int -> int -> float
+(** [vias_per_tile chip ds x y] is the (real-valued) via count the density
+    implies for that tile. *)
+
+type result = {
+  grid_nx : int;  (** tiles per row, for indexing [rises] *)
+  rises : float array array;  (** [rises.(plane).(y * grid_nx + x)] bulk rise, K *)
+  max_rise : float;
+  hottest : int * int * int;  (** (plane, x, y) of the peak *)
+  sink_heat : float;  (** total heat crossing the R_s layer, W *)
+}
+
+val solve : t -> densities -> Power_map.t list -> result
+(** [solve chip ds power] solves the chip; [power] has one map per plane
+    on the chip's grid.  Raises [Invalid_argument] on mismatched grids or
+    plane counts, densities outside [0, 1), or vias that no longer fit
+    their tile. *)
+
+val rise_at : result -> plane:int -> x:int -> y:int -> float
+
+val pp_plane : result -> plane:int -> Format.formatter -> unit
+(** ASCII map of one plane's temperature field ('0'–'9' scaled to the
+    global maximum). *)

@@ -1,0 +1,32 @@
+module Optimize = Ttsv_numerics.Optimize
+
+type sample = { stack : Ttsv_geometry.Stack.t; reference : float }
+
+type fit = { coefficients : Coefficients.t; rms_rel_error : float; iterations : int }
+
+let objective coeffs samples =
+  let total =
+    List.fold_left
+      (fun acc { stack; reference } ->
+        let predicted = Model_a.max_rise (Model_a.solve ~coeffs stack) in
+        let rel = (predicted -. reference) /. reference in
+        acc +. (rel *. rel))
+      0. samples
+  in
+  total /. float_of_int (List.length samples)
+
+let fit ?(initial = Coefficients.paper_block) samples =
+  if samples = [] then invalid_arg "Calibrate.fit: no samples";
+  List.iter
+    (fun { reference; _ } ->
+      if reference <= 0. then invalid_arg "Calibrate.fit: references must be positive")
+    samples;
+  let of_logs v = Coefficients.make ~k1:(exp v.(0)) ~k2:(exp v.(1)) in
+  let f v = objective (of_logs v) samples in
+  let x0 = [| log initial.Coefficients.k1; log initial.Coefficients.k2 |] in
+  let m = Optimize.nelder_mead ~tol:1e-14 ~max_iter:500 f x0 in
+  {
+    coefficients = of_logs m.Optimize.xmin;
+    rms_rel_error = sqrt m.Optimize.fmin;
+    iterations = m.Optimize.iterations;
+  }

@@ -1,0 +1,29 @@
+(** Fitting Model A's coefficients against a reference solver.
+
+    The paper obtains k1 and k2 by simulating one representative block in
+    COMSOL and minimizing the discrepancy; this module automates the
+    procedure against any reference (in this repository: the
+    finite-volume solver in [ttsv_fem]).  The objective is the mean
+    squared relative error of Model A's Max ΔT over the supplied
+    samples, minimized by Nelder–Mead in log-coefficient space (which
+    keeps both coefficients positive without constraints). *)
+
+type sample = {
+  stack : Ttsv_geometry.Stack.t;
+  reference : float;  (** reference Max ΔT for that stack, K *)
+}
+
+type fit = {
+  coefficients : Coefficients.t;
+  rms_rel_error : float;  (** RMS relative error of Model A at the fit *)
+  iterations : int;
+}
+
+val fit : ?initial:Coefficients.t -> sample list -> fit
+(** [fit samples] minimizes over (k1, k2) starting from [initial]
+    (default {!Coefficients.paper_block}).  Raises [Invalid_argument] on
+    an empty sample list or a nonpositive reference. *)
+
+val objective : Coefficients.t -> sample list -> float
+(** The mean squared relative error Model A incurs with the given
+    coefficients — exposed for the ablation experiment and tests. *)

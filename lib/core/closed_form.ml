@@ -1,0 +1,79 @@
+module Stack = Ttsv_geometry.Stack
+
+type temperatures = { t0 : float; t1 : float; t2 : float; t3 : float; t4 : float; t5 : float }
+
+(* Elimination order (see the interface): θ5 out of the T5 equation, θ2 out
+   of the T2 equation, Cramer on the remaining symmetric 3x3 in
+   (θ1, θ3, θ4). *)
+let solve (rs : Resistances.t) ~q1 ~q2 ~q3 =
+  if Array.length rs.Resistances.triples <> 3 then
+    invalid_arg "Closed_form.solve: expects exactly three planes";
+  let p1 = rs.Resistances.triples.(0)
+  and p2 = rs.Resistances.triples.(1)
+  and p3 = rs.Resistances.triples.(2) in
+  let g1 = 1. /. p1.Resistances.bulk
+  and g2 = 1. /. p1.Resistances.tsv
+  and g3 = 1. /. p1.Resistances.liner
+  and g4 = 1. /. p2.Resistances.bulk
+  and g5 = 1. /. p2.Resistances.tsv
+  and g6 = 1. /. p2.Resistances.liner
+  and g89 = 1. /. (p3.Resistances.tsv +. p3.Resistances.liner)
+  and g7 = 1. /. p3.Resistances.bulk in
+  (* θ5 = (q3 + g7 θ3 + g89 θ4) / s *)
+  let s = g7 +. g89 in
+  (* θ2 = (g3 θ1 + g5 θ4) / p *)
+  let p = g2 +. g3 +. g5 in
+  let a = g1 +. g3 +. g4 -. (g3 *. g3 /. p) in
+  let b = g4 +. g6 +. g7 -. (g7 *. g7 /. s) in
+  let cc = g5 +. g6 +. g89 -. (g89 *. g89 /. s) -. (g5 *. g5 /. p) in
+  let c = g6 +. (g7 *. g89 /. s) in
+  let d = g3 *. g5 /. p in
+  let b1 = q1 in
+  let b3 = q2 +. (g7 *. q3 /. s) in
+  let b4 = g89 *. q3 /. s in
+  (* symmetric 3x3:  [ a  -g4  -d ] [θ1]   [b1]
+                     [-g4   b  -c ] [θ3] = [b3]
+                     [ -d  -c  cc ] [θ4]   [b4]   *)
+  let det =
+    (a *. ((b *. cc) -. (c *. c)))
+    +. (g4 *. ((-.g4 *. cc) -. (c *. d)))
+    -. (d *. ((g4 *. c) +. (b *. d)))
+  in
+  if Float.abs det < 1e-300 then invalid_arg "Closed_form.solve: singular network";
+  let det1 =
+    (b1 *. ((b *. cc) -. (c *. c)))
+    +. (g4 *. ((b3 *. cc) +. (c *. b4)))
+    -. (d *. ((-.b3 *. c) -. (b *. b4)))
+  in
+  let det3 =
+    (a *. ((b3 *. cc) +. (c *. b4)))
+    -. (b1 *. ((-.g4 *. cc) -. (c *. d)))
+    -. (d *. ((-.g4 *. b4) +. (b3 *. d)))
+  in
+  let det4 =
+    (a *. ((b *. b4) +. (c *. b3)))
+    +. (g4 *. ((-.g4 *. b4) +. (b3 *. d)))
+    +. (b1 *. ((g4 *. c) +. (b *. d)))
+  in
+  let th1 = det1 /. det and th3 = det3 /. det and th4 = det4 /. det in
+  let th2 = ((g3 *. th1) +. (g5 *. th4)) /. p in
+  let th5 = (q3 +. (g7 *. th3) +. (g89 *. th4)) /. s in
+  let t0 = rs.Resistances.r_sink *. (q1 +. q2 +. q3) in
+  {
+    t0;
+    t1 = th1 +. t0;
+    t2 = th2 +. t0;
+    t3 = th3 +. t0;
+    t4 = th4 +. t0;
+    t5 = th5 +. t0;
+  }
+
+let of_stack ?coeffs stack =
+  if Stack.num_planes stack <> 3 then
+    invalid_arg "Closed_form.of_stack: expects a three-plane stack";
+  let rs = Resistances.of_stack ?coeffs stack in
+  let qs = Stack.heat_inputs stack in
+  solve rs ~q1:qs.(0) ~q2:qs.(1) ~q3:qs.(2)
+
+let max_rise t =
+  List.fold_left Float.max t.t0 [ t.t1; t.t2; t.t3; t.t4; t.t5 ]

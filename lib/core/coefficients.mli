@@ -1,0 +1,28 @@
+(** Model A fitting coefficients.
+
+    The paper introduces two coefficients calibrated against FEM: [k1]
+    multiplies every vertical conductance (equivalently, divides the
+    vertical resistances R1, R2, R4, R5, R7, R8 and R_s) and [k2]
+    multiplies the lateral liner conductances (divides R3, R6, R9).
+    They absorb the geometric spreading that a lumped one-node-per-plane
+    network cannot represent.
+
+    Model B needs no coefficients ({!unity}). *)
+
+type t = { k1 : float; k2 : float }
+
+val make : k1:float -> k2:float -> t
+(** [make ~k1 ~k2] validates positivity and builds the record. *)
+
+val unity : t
+(** [k1 = 1, k2 = 1] — no fitting, used by Model B and the ablation. *)
+
+val paper_block : t
+(** [k1 = 1.3, k2 = 0.55] — the values the paper fits for the
+    100 µm × 100 µm three-plane block (Figs. 4–7). *)
+
+val paper_case_study : t
+(** [k1 = 1.6, k2 = 0.8] — the values the paper fits for the
+    10 mm × 10 mm DRAM-µP case study (Fig. 8). *)
+
+val pp : Format.formatter -> t -> unit

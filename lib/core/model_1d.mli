@@ -1,0 +1,30 @@
+(** The traditional 1-D TTSV model — the paper's baseline.
+
+    Following the references the paper compares against ([1], [7]–[9]),
+    the TTSV is a single vertical lumped resistor per plane, proportional
+    to its length and inversely proportional to its metal cross-section;
+    heat flows only vertically.  Per plane the TTSV resistor sits in
+    parallel with the surrounding stack resistance, the planes form a
+    series chain above R_s, and heat q_i enters between planes.
+
+    Deliberately missing (this is the point of the paper): the lateral
+    liner path (R3/R6/R9) and the liner geometry entirely — the model's
+    prediction is independent of the liner thickness t_L (flat curve in
+    Fig. 5) and of how one large TTSV is divided into many small ones at
+    constant metal area (flat curve in Fig. 7). *)
+
+type result = {
+  t0 : float;  (** rise below plane 1 (above R_s), K *)
+  plane_tops : float array;  (** rise at the top of each plane, K *)
+  plane_resistances : float array;  (** the per-plane parallel combinations, K/W *)
+}
+
+val solve : Ttsv_geometry.Stack.t -> result
+(** [solve stack] evaluates the chain with the stack's heat inputs.
+    No fitting coefficients exist in this model. *)
+
+val solve_with_heats : Ttsv_geometry.Stack.t -> Ttsv_numerics.Vec.t -> result
+(** Like {!solve} with explicit per-plane heats. *)
+
+val max_rise : result -> float
+(** Max ΔT — the top of the chain. *)

@@ -1,0 +1,65 @@
+(** Model A — the paper's lumped compact resistive network (§II).
+
+    Every plane contributes one bulk node (the paper's T1, T3, T5) and,
+    except the last plane, one TTSV node (T2, T4); the network follows
+    eqs. 1–6:
+
+    - the bulk nodes form a vertical chain through the [bulk] resistances
+      (R1, R4, R7);
+    - the TTSV nodes form a parallel chain through the [tsv] resistances
+      (R2, R5);
+    - each plane couples its bulk node to its TTSV node through the
+      lateral [liner] resistance (R3, R6);
+    - the last plane's TTSV segment reaches the top bulk node through
+      [tsv] and [liner] in series (R8 + R9, eq. 1);
+    - the first plane's substrate connects everything to the heat sink
+      through R_s (eq. 6).
+
+    Heat q_i enters at each bulk node.  Works for any number of planes
+    (≥ 1), as the paper's §II closing remark describes. *)
+
+type result = {
+  t0 : float;  (** rise of the node above R_s (the paper's T0), K *)
+  bulk : float array;  (** per-plane bulk-node rises (T1, T3, T5, …), K *)
+  tsv : float array;  (** per-plane TTSV-node rises (T2, T4, …), length N−1, K *)
+  tsv_heat : float;
+      (** heat the TTSV delivers to the sink side at its foot (flow from the
+          first TTSV node down into T0), W; positive when the via cools *)
+  resistances : Resistances.t;  (** the stamped eq. 7–16 values *)
+}
+
+val solve : ?coeffs:Coefficients.t -> Ttsv_geometry.Stack.t -> result
+(** [solve ?coeffs stack] evaluates the model with the given (default
+    unity) fitting coefficients, using the stack's per-plane heat
+    inputs. *)
+
+val solve_with_heats :
+  ?coeffs:Coefficients.t -> Ttsv_geometry.Stack.t -> Ttsv_numerics.Vec.t -> result
+(** [solve_with_heats ?coeffs stack qs] overrides the per-plane heat
+    inputs (length must equal the plane count). *)
+
+val solve_triples : Resistances.t -> Ttsv_numerics.Vec.t -> result
+(** [solve_triples rs qs] solves the network for externally supplied
+    resistances — the entry point used by the cluster model, which edits
+    the liner entries per eq. 22 before solving. *)
+
+type network = {
+  circuit : Ttsv_network.Circuit.t;
+  t0_node : Ttsv_network.Circuit.node;
+  bulk_nodes : Ttsv_network.Circuit.node array;
+  tsv_nodes : Ttsv_network.Circuit.node array;
+}
+(** The eq. 1–6 network before solving, with its node handles. *)
+
+val build_network : Resistances.t -> Ttsv_numerics.Vec.t -> network
+(** [build_network rs qs] stamps the Model A circuit without solving it —
+    used by the transient extension, which augments the same network with
+    nodal heat capacities. *)
+
+val max_rise : result -> float
+(** [max_rise r] is the paper's "Max ΔT": the largest nodal temperature
+    rise above the heat sink. *)
+
+val sink_path_heat : result -> float
+(** Heat flowing through R_s (should equal total injected heat —
+    asserted by the test suite as an energy-conservation check). *)

@@ -1,0 +1,236 @@
+module Stack = Ttsv_geometry.Stack
+module Plane = Ttsv_geometry.Plane
+module Tsv = Ttsv_geometry.Tsv
+module Material = Ttsv_physics.Material
+module Banded = Ttsv_numerics.Banded
+module Circuit = Ttsv_network.Circuit
+
+type segmentation = (int * int) array
+
+type result = {
+  t0 : float;
+  temps : float array;
+  bulk_profile : (float * float) array;
+  tsv_profile : (float * float) array;
+  nodes : int;
+  segmentation : segmentation;
+}
+
+(* One π-segment: vertical bulk resistance to the node below, optional metal
+   column piece and lateral rung, heat injected at the bulk node, and the
+   vertical extent (for profiles). *)
+type segment = {
+  r_bulk : float;
+  metal : (float * float) option; (* (r_metal, r_rung) *)
+  heat : float;
+  dz : float;
+}
+
+let segmentation_for stack ~counts =
+  let n = Stack.num_planes stack in
+  if Array.length counts <> n then
+    invalid_arg "Model_b.segmentation_for: one count per plane required";
+  Array.mapi
+    (fun i count ->
+      if count < 1 then invalid_arg "Model_b.segmentation_for: counts must be >= 1";
+      let p = Stack.plane stack i in
+      let t_si_part =
+        if i = 0 then stack.Stack.tsv.Tsv.extension
+        else p.Plane.t_bond +. p.Plane.t_substrate
+      in
+      let top = i = n - 1 in
+      if count = 1 then if top then (1, 1) else (1, 0)
+      else begin
+        let frac = t_si_part /. (t_si_part +. p.Plane.t_ild) in
+        let n_si = int_of_float (Float.round (float_of_int count *. frac)) in
+        let n_si = Stdlib.min (count - 1) (Stdlib.max n_si (if top then 1 else 0)) in
+        let n_si = if top then Stdlib.max n_si 1 else n_si in
+        (count - n_si, n_si)
+      end)
+    counts
+
+let paper_segmentation stack n =
+  if n < 1 then invalid_arg "Model_b.paper_segmentation: n must be >= 1";
+  let planes = Stack.num_planes stack in
+  let counts = Array.make planes n in
+  if planes > 0 then counts.(0) <- Stdlib.max 1 (n / 10);
+  segmentation_for stack ~counts
+
+(* Per-plane totals of eq. 21, evaluated without fitting coefficients.
+   [cluster] > 1 applies eq. 22 to the liner total: the TTSV is split into
+   [cluster] vias of radius r0/sqrt(cluster), leaving the vertical metal
+   resistance unchanged and shrinking the lateral liner resistance. *)
+let plane_totals ?(cluster = 1) stack i =
+  let p = Stack.plane stack i in
+  let tsv = stack.Stack.tsv in
+  let area = Stack.silicon_area stack in
+  let k_of (m : Material.t) = m.Material.conductivity in
+  let span = Resistances.plane_span stack i in
+  let t_si_part = if i = 0 then tsv.Tsv.extension else p.Plane.t_substrate in
+  let r_ild = p.Plane.t_ild /. (k_of p.Plane.ild *. area) in
+  let r_si = t_si_part /. (k_of p.Plane.substrate *. area) in
+  let r_bond = p.Plane.t_bond /. (k_of p.Plane.bond *. area) in
+  let r_metal = span /. (k_of tsv.Tsv.filler *. Tsv.fill_area tsv) in
+  let r_liner =
+    if cluster = 1 then
+      log (Tsv.outer_radius tsv /. tsv.Tsv.radius)
+      /. (2. *. Float.pi *. k_of tsv.Tsv.liner *. span)
+    else begin
+      let fn = float_of_int cluster in
+      let r0 = tsv.Tsv.radius and t_l = tsv.Tsv.liner_thickness in
+      log (((t_l *. sqrt fn) +. r0) /. r0)
+      /. (2. *. fn *. Float.pi *. k_of tsv.Tsv.liner *. span)
+    end
+  in
+  (r_ild, r_si, r_bond, r_metal, r_liner)
+
+(* Expand a stack + segmentation into the flat bottom-to-top segment list. *)
+let build_segments ?(cluster = 1) stack seg qs =
+  if cluster < 1 then invalid_arg "Model_b.solve: cluster must be >= 1";
+  let n = Stack.num_planes stack in
+  if Array.length seg <> n then invalid_arg "Model_b.solve: segmentation length mismatch";
+  if Array.length qs <> n then invalid_arg "Model_b.solve: heat vector length mismatch";
+  let segments = ref [] in
+  let push s = segments := s :: !segments in
+  for i = 0 to n - 1 do
+    let n_ild, n_si = seg.(i) in
+    if n_ild < 1 then invalid_arg "Model_b.solve: each plane needs an ILD segment";
+    if n_si < 0 then invalid_arg "Model_b.solve: negative substrate segment count";
+    let top = i = n - 1 in
+    if top && n_si = 0 then
+      invalid_arg "Model_b.solve: the top plane needs a substrate segment";
+    let p = Stack.plane stack i in
+    let r_ild, r_si, r_bond, r_metal, r_liner = plane_totals ~cluster stack i in
+    let n_total = n_ild + n_si in
+    (* the top plane's metal column spans only its substrate segments *)
+    let metal_segments = if top then n_si else n_total in
+    let per_metal = r_metal /. float_of_int metal_segments in
+    let per_rung = r_liner *. float_of_int metal_segments in
+    let t_si_part = if i = 0 then stack.Stack.tsv.Tsv.extension else p.Plane.t_substrate in
+    let dz_si =
+      (p.Plane.t_bond +. t_si_part) /. float_of_int (Stdlib.max n_si 1)
+    in
+    let dz_ild = p.Plane.t_ild /. float_of_int n_ild in
+    (* bond + substrate part, bottom first (bond folded into the first) *)
+    for s = 0 to n_si - 1 do
+      let r_bulk = (r_si /. float_of_int n_si) +. (if s = 0 then r_bond else 0.) in
+      push { r_bulk; metal = Some (per_metal, per_rung); heat = 0.; dz = dz_si }
+    done;
+    (* ILD part; when there were no substrate segments, the substrate and
+       bond resistances fold into the first ILD segment *)
+    for s = 0 to n_ild - 1 do
+      let r_bulk =
+        (r_ild /. float_of_int n_ild) +. (if s = 0 && n_si = 0 then r_si +. r_bond else 0.)
+      in
+      let metal = if top then None else Some (per_metal, per_rung) in
+      push { r_bulk; metal; heat = qs.(i) /. float_of_int n_ild; dz = dz_ild }
+    done
+  done;
+  List.rev !segments
+
+(* Assign node indices: T0 = 0; per segment the bulk node, then (if the
+   segment carries metal) the metal node.  The interleaving keeps the
+   half-bandwidth at 2. *)
+let assemble ?cluster stack seg qs =
+  let segments = build_segments ?cluster stack seg qs in
+  let count =
+    List.fold_left (fun acc s -> acc + (match s.metal with Some _ -> 2 | None -> 1)) 1 segments
+  in
+  let m = Banded.create ~n:count ~bw:2 in
+  let rhs = Array.make count 0. in
+  let stamp i j r =
+    let g = 1. /. r in
+    Banded.add_to m i i g;
+    Banded.add_to m j j g;
+    Banded.add_to m i j (-.g);
+    Banded.add_to m j i (-.g)
+  in
+  let rs = Resistances.of_stack stack in
+  (* T0 to ground through R_s: ground is eliminated, only the diagonal term
+     remains *)
+  Banded.add_to m 0 0 (1. /. rs.Resistances.r_sink);
+  let next = ref 1 in
+  let prev_bulk = ref 0 and prev_metal = ref 0 in
+  let bulk_nodes = ref [] and metal_nodes = ref [] in
+  let z = ref 0. in
+  List.iter
+    (fun s ->
+      let b = !next in
+      incr next;
+      stamp !prev_bulk b s.r_bulk;
+      rhs.(b) <- rhs.(b) +. s.heat;
+      z := !z +. s.dz;
+      bulk_nodes := (b, !z) :: !bulk_nodes;
+      (match s.metal with
+      | Some (r_metal, r_rung) ->
+        let mnode = !next in
+        incr next;
+        stamp !prev_metal mnode r_metal;
+        stamp b mnode r_rung;
+        prev_metal := mnode;
+        metal_nodes := (mnode, !z) :: !metal_nodes
+      | None -> ());
+      prev_bulk := b)
+    segments;
+  (m, rhs, List.rev !bulk_nodes, List.rev !metal_nodes)
+
+let solve_with_heats ?cluster stack seg qs =
+  let m, rhs, bulk_nodes, metal_nodes = assemble ?cluster stack seg qs in
+  let temps = Banded.solve m rhs in
+  let profile nodes = Array.of_list (List.map (fun (i, z) -> (z, temps.(i))) nodes) in
+  {
+    t0 = temps.(0);
+    temps;
+    bulk_profile = profile bulk_nodes;
+    tsv_profile = profile metal_nodes;
+    nodes = Array.length temps;
+    segmentation = seg;
+  }
+
+let solve ?cluster stack seg = solve_with_heats ?cluster stack seg (Stack.heat_inputs stack)
+
+let solve_n ?cluster stack n = solve ?cluster stack (paper_segmentation stack n)
+
+let max_rise r = Array.fold_left Float.max 0. r.temps
+
+let solve_adaptive ?cluster ?(rel_tol = 0.005) ?(max_segments = 2000) stack =
+  if rel_tol <= 0. then invalid_arg "Model_b.solve_adaptive: rel_tol must be positive";
+  let rec refine n prev tried =
+    let r = solve_n ?cluster stack n in
+    let tried = n :: tried in
+    let converged =
+      match prev with
+      | Some p -> Float.abs (max_rise r -. p) <= rel_tol *. Float.max (max_rise r) 1e-12
+      | None -> false
+    in
+    if converged || 2 * n > max_segments then (r, List.rev tried)
+    else refine (2 * n) (Some (max_rise r)) tried
+  in
+  refine 10 None []
+
+(* Test oracle: the same network through the generic circuit solver. *)
+let solve_via_circuit stack seg =
+  let qs = Stack.heat_inputs stack in
+  let segments = build_segments stack seg qs in
+  let rs = Resistances.of_stack stack in
+  let c = Circuit.create () in
+  let ground = Circuit.ground c in
+  let t0 = Circuit.add_node c "T0" in
+  Circuit.add_resistor c t0 ground rs.Resistances.r_sink;
+  let prev_bulk = ref t0 and prev_metal = ref t0 in
+  List.iteri
+    (fun i s ->
+      let b = Circuit.add_node c (Printf.sprintf "b%d" i) in
+      Circuit.add_resistor c !prev_bulk b s.r_bulk;
+      if s.heat <> 0. then Circuit.add_heat_source c b s.heat;
+      (match s.metal with
+      | Some (r_metal, r_rung) ->
+        let mnode = Circuit.add_node c (Printf.sprintf "m%d" i) in
+        Circuit.add_resistor c !prev_metal mnode r_metal;
+        Circuit.add_resistor c b mnode r_rung;
+        prev_metal := mnode
+      | None -> ());
+      prev_bulk := b)
+    segments;
+  let sol = Circuit.solve c in
+  Circuit.max_temperature sol

@@ -1,0 +1,46 @@
+(** The paper's closed-form thermal resistances (eqs. 7–16).
+
+    For every plane of a stack this module evaluates the triple of
+    resistances Model A stamps into its network:
+
+    - [bulk]  — the vertical resistance of the TTSV's surroundings
+      (R1 for the first plane, R4-style for middle planes, R7-style for
+      the last plane);
+    - [tsv]   — the vertical resistance of the TTSV filler over the same
+      span (R2 / R5 / R8);
+    - [liner] — the lateral (radial) resistance of the dielectric liner
+      (R3 / R6 / R9), i.e. the closed form of the eq. 9 integral.
+
+    Spans follow the paper exactly: the first plane covers its ILD plus
+    the TSV extension [l_ext]; middle planes cover bond + substrate +
+    ILD; the last plane's [bulk] covers bond + substrate + ILD but its
+    [tsv] and [liner] cover only bond + substrate because the TTSV stops
+    at the top of the last substrate (eqs. 13–15).  The remaining
+    first-plane substrate below the TSV tip is [r_sink] (eq. 16, R_s). *)
+
+type triple = {
+  bulk : float;  (** vertical resistance of the surroundings, K/W *)
+  tsv : float;  (** vertical resistance of the TTSV filler, K/W *)
+  liner : float;  (** lateral liner resistance, K/W *)
+}
+
+type t = {
+  triples : triple array;  (** one triple per plane, index 0 = next to the sink *)
+  r_sink : float;  (** R_s, the first-plane substrate bulk below the TSV tip *)
+  silicon_area : float;  (** A = A₀ − π(r + t_L)², shared by the [bulk] entries *)
+}
+
+val plane_span : Ttsv_geometry.Stack.t -> int -> float
+(** [plane_span stack i] is the vertical distance the plane-[i] TTSV
+    segment covers (see the spans above) — also the liner length of
+    that plane. *)
+
+val of_stack : ?coeffs:Coefficients.t -> Ttsv_geometry.Stack.t -> t
+(** [of_stack ?coeffs stack] evaluates eqs. 7–16 for every plane.
+    [coeffs] defaults to {!Coefficients.unity}.  Material conductivities
+    are taken from each plane's own materials, so heterogeneous stacks
+    are supported. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the resistances in the paper's R1…R_s naming for a 3-plane
+    stack, or indexed triples otherwise. *)

@@ -1,0 +1,38 @@
+let psi ~epsilon ~tau ~biot =
+  if epsilon <= 0. || epsilon > 1. then invalid_arg "Spreading.psi: epsilon outside (0, 1]";
+  if tau <= 0. then invalid_arg "Spreading.psi: tau must be positive";
+  if biot <= 0. then invalid_arg "Spreading.psi: biot must be positive";
+  let sqrt_pi = sqrt Float.pi in
+  let lambda = Float.pi +. (1. /. (sqrt_pi *. epsilon)) in
+  let th = tanh (lambda *. tau) in
+  let phi =
+    if Float.is_finite biot then
+      (th +. (lambda /. biot)) /. (1. +. (lambda /. biot *. th))
+    else th
+  in
+  (epsilon *. tau /. sqrt_pi) +. (1. /. sqrt_pi *. (1. -. epsilon) *. phi)
+
+let resistance ~source_radius ~cell_radius ~thickness ~conductivity ?heat_transfer_coeff () =
+  if source_radius <= 0. || cell_radius <= 0. || thickness <= 0. || conductivity <= 0. then
+    invalid_arg "Spreading.resistance: arguments must be positive";
+  if source_radius > cell_radius then
+    invalid_arg "Spreading.resistance: source larger than the cell";
+  let epsilon = source_radius /. cell_radius in
+  let tau = thickness /. cell_radius in
+  let biot =
+    match heat_transfer_coeff with
+    | Some h ->
+      if h <= 0. then invalid_arg "Spreading.resistance: heat transfer coeff must be positive";
+      h *. cell_radius /. conductivity
+    | None -> Float.infinity
+  in
+  psi ~epsilon ~tau ~biot /. (sqrt Float.pi *. conductivity *. source_radius)
+
+let one_d_resistance ~cell_radius ~thickness ~conductivity =
+  if cell_radius <= 0. || thickness <= 0. || conductivity <= 0. then
+    invalid_arg "Spreading.one_d_resistance: arguments must be positive";
+  thickness /. (conductivity *. Float.pi *. cell_radius *. cell_radius)
+
+let spreading_factor ~source_radius ~cell_radius ~thickness ~conductivity =
+  resistance ~source_radius ~cell_radius ~thickness ~conductivity ()
+  /. one_d_resistance ~cell_radius ~thickness ~conductivity

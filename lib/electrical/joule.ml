@@ -1,0 +1,90 @@
+module Stack = Ttsv_geometry.Stack
+module Tsv = Ttsv_geometry.Tsv
+module Model_a = Ttsv_core.Model_a
+module Resistances = Ttsv_core.Resistances
+module Circuit = Ttsv_network.Circuit
+module Optimize = Ttsv_numerics.Optimize
+
+type result = {
+  baseline_rise : float;
+  rise : float;
+  via_temperature : float;
+  joule_power : float;
+  resistance : float;
+  iterations : int;
+}
+
+(* Solve the Model A network with [power] watts of Joule heat spread over
+   the via nodes proportionally to each plane's span.  Returns (max rise,
+   mean via rise). *)
+let solve_with_joule rs stack power =
+  let qs = Stack.heat_inputs stack in
+  let net = Model_a.build_network rs qs in
+  let nvias = Array.length net.Model_a.tsv_nodes in
+  let spans = Array.init nvias (fun i -> Resistances.plane_span stack i) in
+  (* the top plane's share lands on the last via node *)
+  let top_span = Resistances.plane_span stack (Stack.num_planes stack - 1) in
+  let total_span = Array.fold_left ( +. ) top_span spans in
+  if nvias = 0 then begin
+    (* single-plane stack: the via heat enters the bulk node *)
+    Circuit.add_heat_source net.Model_a.circuit net.Model_a.bulk_nodes.(0) power
+  end
+  else begin
+    Array.iteri
+      (fun i node ->
+        let share = spans.(i) /. total_span in
+        Circuit.add_heat_source net.Model_a.circuit node (power *. share))
+      net.Model_a.tsv_nodes;
+    Circuit.add_heat_source net.Model_a.circuit
+      net.Model_a.tsv_nodes.(nvias - 1)
+      (power *. top_span /. total_span)
+  end;
+  let sol = Circuit.solve net.Model_a.circuit in
+  let max_rise = Circuit.max_temperature sol in
+  let via_rise =
+    if nvias = 0 then Circuit.temperature sol net.Model_a.bulk_nodes.(0)
+    else
+      Array.fold_left (fun acc n -> acc +. Circuit.temperature sol n) 0. net.Model_a.tsv_nodes
+      /. float_of_int nvias
+  in
+  (max_rise, via_rise)
+
+let solve ?coeffs ?(conductor = Parasitics.copper) ?(tol = 1e-9) ?(max_iter = 100)
+    ~sink_temperature_k ~current_rms stack =
+  if current_rms < 0. then invalid_arg "Joule.solve: negative current";
+  let rs = Resistances.of_stack ?coeffs stack in
+  let tsv = stack.Stack.tsv in
+  let length = Stack.tsv_length stack in
+  let radius = tsv.Tsv.radius in
+  let baseline_rise, baseline_via = solve_with_joule rs stack 0. in
+  let rec fixed_point iter via_temp prev_rise =
+    let r_dc = Parasitics.dc_resistance conductor ~radius ~length ~temp_k:via_temp in
+    let power = current_rms *. current_rms *. r_dc in
+    let rise, via_rise = solve_with_joule rs stack power in
+    if Float.abs (rise -. prev_rise) <= tol then
+      {
+        baseline_rise;
+        rise;
+        via_temperature = sink_temperature_k +. via_rise;
+        joule_power = power;
+        resistance = r_dc;
+        iterations = iter;
+      }
+    else if iter >= max_iter then failwith "Joule.solve: fixed point did not settle"
+    else fixed_point (iter + 1) (sink_temperature_k +. via_rise) rise
+  in
+  fixed_point 1 (sink_temperature_k +. baseline_via) Float.neg_infinity
+
+let max_current_for_rise ?coeffs ?conductor ~sink_temperature_k ~budget stack =
+  let rise i = (solve ?coeffs ?conductor ~sink_temperature_k ~current_rms:i stack).rise in
+  let baseline = rise 0. in
+  if baseline > budget then
+    invalid_arg "Joule.max_current_for_rise: baseline already exceeds the budget";
+  (* bracket: double the current until the budget is crossed *)
+  let rec upper i =
+    if rise i > budget then i
+    else if i > 1e4 then invalid_arg "Joule.max_current_for_rise: budget unreachable below 10 kA"
+    else upper (2. *. i)
+  in
+  let hi = upper 0.1 in
+  Optimize.bisect ~tol:1e-6 (fun i -> rise i -. budget) 0. hi

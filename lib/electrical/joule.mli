@@ -1,0 +1,49 @@
+(** Electro-thermal coupling: Joule self-heating of a current-carrying
+    TSV inside the paper's thermal network (extension).
+
+    A signal or power TSV with the same geometry as a TTSV dissipates
+    I²R(T) along its length; that heat enters the Model A network at the
+    via nodes, raises the via temperature, which raises the copper
+    resistivity, which raises the dissipation — a fixed point this module
+    resolves by damped iteration.
+
+    The result quantifies when a power-delivery TSV stops being a free
+    thermal via and becomes a heat source of its own. *)
+
+type result = {
+  baseline_rise : float;  (** Max ΔT with no current, K *)
+  rise : float;  (** Max ΔT at the converged operating point, K *)
+  via_temperature : float;  (** mean via-node absolute temperature, K *)
+  joule_power : float;  (** converged dissipation, W *)
+  resistance : float;  (** converged via DC resistance, Ω *)
+  iterations : int;
+}
+
+val solve :
+  ?coeffs:Ttsv_core.Coefficients.t ->
+  ?conductor:Parasitics.conductor ->
+  ?tol:float ->
+  ?max_iter:int ->
+  sink_temperature_k:float ->
+  current_rms:float ->
+  Ttsv_geometry.Stack.t ->
+  result
+(** [solve ~sink_temperature_k ~current_rms stack] couples the stack's
+    TTSV (treated as the current-carrying via) with Model A.  The Joule
+    heat is distributed over the via nodes proportionally to each
+    plane's span.  [conductor] defaults to {!Parasitics.copper}; [tol]
+    (default 1e-9 K on the rise) and [max_iter] (default 100, [Failure]
+    beyond) control the fixed point.  [current_rms = 0] returns the
+    baseline. *)
+
+val max_current_for_rise :
+  ?coeffs:Ttsv_core.Coefficients.t ->
+  ?conductor:Parasitics.conductor ->
+  sink_temperature_k:float ->
+  budget:float ->
+  Ttsv_geometry.Stack.t ->
+  float
+(** [max_current_for_rise ~sink_temperature_k ~budget stack] is the RMS
+    current at which the coupled Max ΔT reaches [budget] (bisection;
+    raises [Invalid_argument] if the baseline already exceeds the
+    budget). *)

@@ -1,0 +1,55 @@
+type conductor = { resistivity_293k : float; temperature_coeff : float }
+
+let copper = { resistivity_293k = 1.72e-8; temperature_coeff = 3.93e-3 }
+let tungsten = { resistivity_293k = 5.28e-8; temperature_coeff = 4.5e-3 }
+
+let mu0 = 4e-7 *. Float.pi
+let epsilon0 = 8.8541878128e-12
+
+let resistivity c ~temp_k =
+  let rho = c.resistivity_293k *. (1. +. (c.temperature_coeff *. (temp_k -. 293.15))) in
+  Float.max rho (0.1 *. c.resistivity_293k)
+
+let check_geometry name ~radius ~length =
+  if radius <= 0. || length <= 0. then
+    invalid_arg ("Parasitics." ^ name ^ ": radius and length must be positive")
+
+let dc_resistance c ~radius ~length ~temp_k =
+  check_geometry "dc_resistance" ~radius ~length;
+  resistivity c ~temp_k *. length /. (Float.pi *. radius *. radius)
+
+let skin_depth c ~frequency ~temp_k =
+  if frequency <= 0. then invalid_arg "Parasitics.skin_depth: frequency must be positive";
+  sqrt (2. *. resistivity c ~temp_k /. (2. *. Float.pi *. frequency *. mu0))
+
+let ac_resistance c ~radius ~length ~frequency ~temp_k =
+  check_geometry "ac_resistance" ~radius ~length;
+  let dc = dc_resistance c ~radius ~length ~temp_k in
+  let delta = skin_depth c ~frequency ~temp_k in
+  if delta >= radius then dc
+  else begin
+    let inner = radius -. delta in
+    let area = Float.pi *. ((radius *. radius) -. (inner *. inner)) in
+    Float.max dc (resistivity c ~temp_k *. length /. area)
+  end
+
+let oxide_capacitance ?(epsilon_r = 3.9) ~radius ~liner_thickness ~length () =
+  check_geometry "oxide_capacitance" ~radius ~length;
+  if liner_thickness <= 0. then
+    invalid_arg "Parasitics.oxide_capacitance: liner thickness must be positive";
+  2. *. Float.pi *. epsilon0 *. epsilon_r *. length
+  /. log ((radius +. liner_thickness) /. radius)
+
+let self_inductance ~radius ~length =
+  check_geometry "self_inductance" ~radius ~length;
+  if length <= radius then
+    invalid_arg "Parasitics.self_inductance: needs length > radius";
+  mu0 *. length /. (2. *. Float.pi) *. (log (2. *. length /. radius) -. 0.75)
+
+let rc_delay ~resistance ~capacitance =
+  if resistance < 0. || capacitance < 0. then
+    invalid_arg "Parasitics.rc_delay: negative inputs";
+  0.69 *. resistance *. capacitance
+
+let joule_power c ~radius ~length ~temp_k ~current_rms =
+  current_rms *. current_rms *. dc_resistance c ~radius ~length ~temp_k

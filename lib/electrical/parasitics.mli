@@ -1,0 +1,54 @@
+(** Electrical parasitics of a through-silicon via.
+
+    Closed forms in the spirit of the paper's reference [15] (Katti,
+    Stucchi, De Meyer, Dehaene, IEEE TED 2010): DC and skin-effect
+    resistance with temperature-dependent resistivity, the cylindrical
+    MOS (oxide-liner) capacitance, and the partial self-inductance of a
+    cylindrical conductor.  These are the inputs of the Joule
+    self-heating coupling in {!Joule} and of signal-TSV delay budgeting.
+
+    All quantities are SI; lengths in metres, temperature in kelvin. *)
+
+type conductor = {
+  resistivity_293k : float;  (** ρ₀ at 293 K, Ω·m *)
+  temperature_coeff : float;  (** α in ρ(T) = ρ₀(1 + α(T − 293 K)), 1/K *)
+}
+
+val copper : conductor
+(** ρ₀ = 1.72e-8 Ω·m, α = 3.93e-3 /K. *)
+
+val tungsten : conductor
+(** ρ₀ = 5.28e-8 Ω·m, α = 4.5e-3 /K. *)
+
+val resistivity : conductor -> temp_k:float -> float
+(** ρ(T); clamped below at 10 % of ρ₀ to stay physical at extreme
+    extrapolations. *)
+
+val dc_resistance : conductor -> radius:float -> length:float -> temp_k:float -> float
+(** R = ρ(T)·L/(πr²), Ω. *)
+
+val skin_depth : conductor -> frequency:float -> temp_k:float -> float
+(** δ = √(2ρ/(ωμ₀)); raises [Invalid_argument] for nonpositive
+    frequency. *)
+
+val ac_resistance :
+  conductor -> radius:float -> length:float -> frequency:float -> temp_k:float -> float
+(** Skin-effect resistance: the DC value while δ ≥ r, otherwise
+    ρL/(π(r² − (r − δ)²)) — current confined to the outer annulus.
+    Never below the DC value. *)
+
+val oxide_capacitance :
+  ?epsilon_r:float -> radius:float -> liner_thickness:float -> length:float -> unit -> float
+(** Cylindrical-capacitor liner capacitance
+    C = 2πε₀εᵣL / ln((r + t)/r), F.  [epsilon_r] defaults to 3.9
+    (SiO₂). *)
+
+val self_inductance : radius:float -> length:float -> float
+(** Partial self-inductance of a cylindrical conductor,
+    L = (μ₀ℓ/2π)(ln(2ℓ/r) − 3/4), H.  Requires [length > radius]. *)
+
+val rc_delay : resistance:float -> capacitance:float -> float
+(** 0.69·R·C — the Elmore-style delay figure signal-TSV budgets quote. *)
+
+val joule_power : conductor -> radius:float -> length:float -> temp_k:float -> current_rms:float -> float
+(** I²·R_DC(T), W. *)

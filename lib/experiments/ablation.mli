@@ -1,0 +1,20 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    1. {b Fitting coefficients} — Model A with fitted, paper, and unity
+       coefficients over the Fig. 5 sweep, errors vs. the FV reference.
+       Shows what the calibration buys (and that unity-coefficient
+       Model A ≈ Model B(1), the structural content of the network).
+    2. {b Cluster model} — eq. 22 vs. the first-principles sub-via
+       recomputation ({!Ttsv_core.Cluster.solve_naive}) over the Fig. 7
+       divisions: quantifies the cost of the paper's
+       "vertical resistances unchanged" approximation. *)
+
+val coefficients : ?resolution:int -> unit -> Report.figure
+(** The coefficient ablation over the Fig. 5 liner sweep. *)
+
+val cluster : unit -> Report.figure
+(** eq. 22 vs. naive recomputation over the Fig. 7 divisions (pure
+    model comparison; no FV needed). *)
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit
+(** Renders both ablations with error summaries. *)

@@ -1,0 +1,63 @@
+let markers = [| '*'; 'o'; 'x'; '+'; '#'; '@' |]
+
+let padded_range values =
+  let lo = Array.fold_left Float.min Float.infinity values in
+  let hi = Array.fold_left Float.max Float.neg_infinity values in
+  let span = hi -. lo in
+  if span <= 0. then (lo -. (Float.max 1. (Float.abs lo) *. 0.05), hi +. (Float.max 1. (Float.abs hi) *. 0.05))
+  else (lo -. (0.05 *. span), hi +. (0.05 *. span))
+
+let render ?(width = 64) ?(height = 20) (fig : Report.figure) =
+  if width < 16 || height < 6 then invalid_arg "Ascii_plot.render: canvas too small";
+  let all_ys = Array.concat (List.map (fun s -> s.Report.ys) fig.Report.series) in
+  if Array.length all_ys = 0 || Array.length fig.Report.xs = 0 then
+    invalid_arg "Ascii_plot.render: empty figure";
+  let x_lo, x_hi = padded_range fig.Report.xs in
+  let y_lo, y_hi = padded_range all_ys in
+  let canvas = Array.make_matrix height width ' ' in
+  let col x =
+    int_of_float (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+  in
+  let row y =
+    height - 1
+    - int_of_float (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+  in
+  List.iteri
+    (fun si s ->
+      let m = markers.(si mod Array.length markers) in
+      Array.iteri
+        (fun i x ->
+          let c = col x and r = row s.Report.ys.(i) in
+          if r >= 0 && r < height && c >= 0 && c < width then canvas.(r).(c) <- m)
+        fig.Report.xs)
+    fig.Report.series;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  Buffer.add_string buf fig.Report.title;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun r line ->
+      let label =
+        if r = 0 then Printf.sprintf "%8.3g |" y_hi
+        else if r = height - 1 then Printf.sprintf "%8.3g |" y_lo
+        else "         |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf ("         +" ^ String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%10s%-8.3g%s%8.3g   (%s [%s])" "" x_lo
+       (String.make (Stdlib.max 1 (width - 16)) ' ')
+       x_hi fig.Report.x_label fig.Report.x_unit);
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%10s%c %s" "" markers.(si mod Array.length markers) s.Report.label);
+      Buffer.add_char buf '\n')
+    fig.Report.series;
+  Buffer.contents buf
+
+let print ppf fig = Format.fprintf ppf "%s@." (render fig)

@@ -1,0 +1,17 @@
+(** Terminal rendering of reproduced figures.
+
+    The bench harness prints every figure as a numeric table; this module
+    adds a quick visual check — an ASCII scatter of all series on shared
+    axes with one marker per series and a legend — so the shapes the
+    paper plots (monotone decrease, the Fig. 6 minimum, the Fig. 7
+    saturation) are visible directly in the terminal output. *)
+
+val render : ?width:int -> ?height:int -> Report.figure -> string
+(** [render fig] draws the figure on a [width × height] character canvas
+    (defaults 64 × 20) with axis ranges padded 5 %.  Series markers cycle
+    through [*, o, x, +, #, @]; later series overwrite earlier ones on
+    collisions.  Degenerate ranges (constant series) are handled by
+    widening the range symmetrically. *)
+
+val print : Format.formatter -> Report.figure -> unit
+(** [print ppf fig] renders and writes with a trailing newline. *)

@@ -1,0 +1,33 @@
+(** §IV-E — the 3-D DRAM-µP case study.
+
+    A 10 mm × 10 mm three-plane system (processor plane on the heat
+    sink, two DRAM planes above; 70 W + 7 W + 7 W) with TTSVs at 0.5 %
+    area density (r = 30 µm) is reduced to its per-TTSV unit cell and
+    analyzed with Model A (coefficients freshly fitted on this geometry,
+    the paper's §IV-E procedure), Model B(1000), the 1-D model, and the
+    FV reference.
+
+    Expected shape (paper): A ≈ 12.8 °C, B(1000) ≈ 13.9 °C,
+    FEM = 12 °C, 1-D = 20 °C — i.e. both proposed models land within
+    ~15 % of the reference while the 1-D model overestimates by ~65 %,
+    and the models run orders of magnitude faster than the field
+    solver. *)
+
+type entry = {
+  label : string;
+  max_rise : float;  (** Max ΔT above the heat sink, K *)
+  time_ms : float;
+  paper_value : float option;  (** the paper's reported value, °C, where given *)
+}
+
+type t = {
+  entries : entry list;
+  tsv_count : int;  (** TTSVs implied by the 0.5 % density *)
+  cell_area : float;  (** unit-cell footprint, m² *)
+}
+
+val run : ?resolution:int -> ?segments:int -> unit -> t
+(** [run ()] analyzes the case study.  [segments] is Model B's per-plane
+    segment count (default 1000, the paper's choice). *)
+
+val print : ?resolution:int -> ?segments:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,72 @@
+module Params = Ttsv_core.Params
+module Model_b = Ttsv_core.Model_b
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+module Units = Ttsv_physics.Units
+
+let segment_counts = [ 1; 2; 5; 10; 20; 50; 100; 200; 500 ]
+let resolutions = [ 1; 2; 3; 4 ]
+
+let midpoint_stack () = Params.fig5_stack (Units.um 1.)
+
+let model_b_convergence ?resolution () =
+  let stack = midpoint_stack () in
+  let fv = Reference.max_rise ?resolution stack in
+  let xs = Array.of_list (List.map float_of_int segment_counts) in
+  let b =
+    Array.of_list
+      (List.map (fun n -> Model_b.max_rise (Model_b.solve_n stack n)) segment_counts)
+  in
+  Report.figure ~title:"Convergence - Model B vs segment count (Fig. 5 midpoint)"
+    ~x_label:"segments" ~x_unit:"-" ~xs
+    [
+      { Report.label = "Model B(n)"; ys = b };
+      { Report.label = "FV"; ys = Array.map (fun _ -> fv) xs };
+    ]
+
+let fv_mesh_convergence () =
+  let stack = midpoint_stack () in
+  List.map
+    (fun resolution ->
+      let p = Problem.of_stack ~resolution stack in
+      (resolution, Problem.cell_count p, Solver.max_rise (Solver.solve p)))
+    resolutions
+
+let print ?resolution ppf () =
+  Format.fprintf ppf "@[<v>";
+  Report.print_figure ppf (model_b_convergence ?resolution ());
+  let levels = fv_mesh_convergence () in
+  Report.print_table ppf
+    {
+      Report.title = "Convergence - FV mesh refinement (Fig. 5 midpoint)";
+      columns = [ "cells"; "Max dT [C]" ];
+      rows =
+        List.map
+          (fun (res, cells, dt) ->
+            (Printf.sprintf "resolution %d" res, [ string_of_int cells; Printf.sprintf "%.3f" dt ]))
+          levels;
+    };
+  (* Richardson: observed order from the geometric sub-family 1, 2, 4 and
+     the extrapolated limit from the two finest levels *)
+  let value r = match List.find_opt (fun (res, _, _) -> res = r) levels with
+    | Some (_, _, v) -> Some v
+    | None -> None
+  in
+  (match (value 1, value 2, value 4, List.rev levels) with
+  | Some v1, Some v2, Some v4, (rf, _, vf) :: (rc, _, vc) :: _ ->
+    (match
+       Ttsv_numerics.Richardson.observed_order ~h1:1. ~v1 ~h2:0.5 ~v2 ~h3:0.25 ~v3:v4
+     with
+    | order ->
+      let limit =
+        Ttsv_numerics.Richardson.two_point ~order ~h_coarse:(1. /. float_of_int rc)
+          ~v_coarse:vc
+          ~h_fine:(1. /. float_of_int rf)
+          ~v_fine:vf
+      in
+      Format.fprintf ppf "@,observed order of convergence: %.2f@," order;
+      Format.fprintf ppf "Richardson-extrapolated limit: %.3f C@," limit
+    | exception Invalid_argument _ ->
+      Format.fprintf ppf "@,(pre-asymptotic data: no Richardson estimate)@,")
+  | _ -> ());
+  Format.fprintf ppf "@]@."

@@ -1,0 +1,21 @@
+(** Convergence ablations.
+
+    1. {b Model B segment count} — Max ΔT of B(n) for n from 1 to 500 at
+       the Fig. 5 midpoint, against the FV reference: the finer version
+       of Table I's accuracy column, demonstrating monotone convergence
+       of the π-segment ladder.
+    2. {b FV mesh} — Max ΔT of the FV reference at increasing mesh
+       resolution on the same geometry: evidence that the reference the
+       error tables use (resolution 2) is mesh-converged. *)
+
+val segment_counts : int list
+
+val resolutions : int list
+
+val model_b_convergence : ?resolution:int -> unit -> Report.figure
+(** Segment-count convergence (the FV reference is a flat line). *)
+
+val fv_mesh_convergence : unit -> (int * int * float) list
+(** [(resolution, cells, max ΔT)] per mesh level. *)
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,19 @@
+(** Fig. 5 — maximum temperature rise vs. dielectric liner thickness.
+
+    Sweep: t_L from 0.5 µm to 3 µm at r = 5 µm, t_D = 7 µm, t_b = 1 µm,
+    t_Si2,3 = 45 µm.  Curves: Model A (fitted), Model B at 1/20/100/500
+    segments, the 1-D model, and the FV reference.
+
+    Expected shape (paper): ΔT grows roughly like ln t_L (through
+    R3/R6/R9); the 1-D curve is *flat* — the traditional model has no
+    liner at all, which is the central point of the paper; Model B's
+    accuracy improves monotonically with the segment count. *)
+
+val liners_um : float list
+
+val segment_counts : int list
+(** The Model B variants shown: 1, 20, 100, 500. *)
+
+val run : ?resolution:int -> unit -> Report.figure
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit

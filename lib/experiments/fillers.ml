@@ -1,0 +1,65 @@
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Stack = Ttsv_geometry.Stack
+module Tsv = Ttsv_geometry.Tsv
+module Material = Ttsv_physics.Material
+module Materials = Ttsv_physics.Materials
+module Units = Ttsv_physics.Units
+module Optimize = Ttsv_numerics.Optimize
+
+let poly_silicon =
+  Material.make ~name:"poly-silicon" ~conductivity:30. ~volumetric_heat_capacity:1.63e6 ()
+
+let fillers =
+  [ ("copper", Materials.copper); ("tungsten", Materials.tungsten); ("poly-Si", poly_silicon) ]
+
+let with_filler ?r filler =
+  let base = Params.fig5_stack (Units.um 1.) in
+  let tsv = { base.Stack.tsv with Tsv.filler } in
+  let tsv = match r with Some r -> Tsv.with_radius tsv r | None -> tsv in
+  Stack.with_tsv base tsv
+
+let run ?resolution () =
+  let coeffs = Reference.block_coefficients () in
+  let rows =
+    List.map
+      (fun (name, filler) ->
+        let stack = with_filler filler in
+        let a = Model_a.max_rise (Model_a.solve ~coeffs stack) in
+        let b = Model_b.max_rise (Model_b.solve_n stack 100) in
+        let fv = Reference.max_rise ?resolution stack in
+        ( Printf.sprintf "%s (k=%g)" name filler.Material.conductivity,
+          [ Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b; Printf.sprintf "%.3f" fv ] ))
+      fillers
+  in
+  {
+    Report.title = "Extension - TTSV filler material, Max dT [C] (Fig. 5 midpoint)";
+    columns = [ "Model A"; "Model B(100)"; "FV" ];
+    rows;
+  }
+
+let equivalent_radius filler =
+  let coeffs = Reference.block_coefficients () in
+  let rise stack = Model_a.max_rise (Model_a.solve ~coeffs stack) in
+  let target = rise (with_filler Materials.copper) in
+  let f r_um = rise (with_filler ~r:(Units.um r_um) filler) -. target in
+  if f 20. > 0. then
+    invalid_arg "Fillers.equivalent_radius: no radius below 20 um matches copper";
+  if f 5. <= 0. then Units.um 5.
+  else Units.um (Optimize.bisect ~tol:1e-4 f 5. 20.)
+
+let print ?resolution ppf () =
+  Format.fprintf ppf "@[<v>";
+  Report.print_table ppf (run ?resolution ());
+  List.iter
+    (fun (name, filler) ->
+      if not (Material.equal filler Materials.copper) then
+        match equivalent_radius filler with
+        | r ->
+          Format.fprintf ppf "@,a %s via needs r = %.1f um to match the 5 um copper via" name
+            (Units.to_um r)
+        | exception Invalid_argument _ ->
+          Format.fprintf ppf "@,no %s via below r = 20 um matches the 5 um copper via" name)
+    fillers;
+  Format.fprintf ppf "@]@."

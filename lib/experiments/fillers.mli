@@ -1,0 +1,21 @@
+(** Filler-material study (extension beyond the paper).
+
+    The paper fixes the TTSV filler to copper; fabs also use tungsten
+    (CMOS-compatible, CTE-matched, but 2.3× less conductive) and
+    research has proposed poly-Si plugs.  This experiment swaps the
+    filler on the Fig. 5 midpoint block and reports Max ΔT per model,
+    plus the radius a worse filler needs to match copper's cooling —
+    the trade a technologist actually weighs. *)
+
+val fillers : (string * Ttsv_physics.Material.t) list
+(** Copper, tungsten, and poly-silicon (k = 30 W/(m·K)). *)
+
+val run : ?resolution:int -> unit -> Report.table
+
+val equivalent_radius : Ttsv_physics.Material.t -> float
+(** [equivalent_radius filler] is the radius (m) at which a via of that
+    filler matches the 5 µm copper via's Model A Max ΔT on the Fig. 5
+    midpoint block (bisection on the closed form; raises
+    [Invalid_argument] if no radius below 20 µm suffices). *)
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,61 @@
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Model_1d = Ttsv_core.Model_1d
+module Stack = Ttsv_geometry.Stack
+module Plane = Ttsv_geometry.Plane
+module Tsv = Ttsv_geometry.Tsv
+module Units = Ttsv_physics.Units
+
+let plane_counts = [ 2; 3; 4; 5; 6; 8 ]
+
+let stack_with_planes n =
+  if n < 2 then invalid_arg "Nplanes.stack_with_planes: need at least two planes";
+  let tsv =
+    Tsv.make ~radius:(Units.um 5.) ~liner_thickness:(Units.um 1.) ~extension:(Units.um 1.) ()
+  in
+  let plane ~first =
+    Plane.make
+      ~t_substrate:(Units.um (if first then 500. else 45.))
+      ~t_ild:(Units.um 7.)
+      ~t_bond:(Units.um (if first then 0. else 1.))
+      ~t_device:(Units.um 1.)
+      ~device_power_density:(Units.w_per_mm3 700.)
+      ~ild_power_density:(Units.w_per_mm3 70.) ()
+  in
+  Stack.make
+    ~footprint:(Units.um2 (100. *. 100.))
+    ~planes:(plane ~first:true :: List.init (n - 1) (fun _ -> plane ~first:false))
+    ~tsv ()
+
+let run ?resolution () =
+  let coeffs = Reference.block_coefficients () in
+  let stacks = List.map stack_with_planes plane_counts in
+  let of_list f = Array.of_list (List.map f stacks) in
+  Report.figure ~title:"Extension - Max dT [C] vs number of planes" ~x_label:"planes"
+    ~x_unit:"-"
+    ~xs:(Array.of_list (List.map float_of_int plane_counts))
+    [
+      {
+        Report.label = "Model A";
+        ys = of_list (fun s -> Model_a.max_rise (Model_a.solve ~coeffs s));
+      };
+      {
+        Report.label = "Model B(100)";
+        ys = of_list (fun s -> Model_b.max_rise (Model_b.solve_n s 100));
+      };
+      {
+        Report.label = "Model 1D";
+        ys = of_list (fun s -> Model_1d.max_rise (Model_1d.solve s));
+      };
+      { Report.label = "FV"; ys = of_list (Reference.max_rise ?resolution) };
+    ]
+
+let print ?resolution ppf () =
+  let fig = run ?resolution () in
+  Format.fprintf ppf "@[<v>";
+  Report.print_figure ppf fig;
+  Format.fprintf ppf "@,Error vs FV reference:@,";
+  Report.print_errors ppf (Report.errors_vs ~reference:"FV" fig);
+  Format.fprintf ppf "@]@.";
+  Ascii_plot.print ppf fig

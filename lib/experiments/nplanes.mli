@@ -1,0 +1,20 @@
+(** Plane-count scaling (the §II closing remark, exercised).
+
+    The paper's models are presented on three planes and stated to
+    "extend to any number of planes"; this experiment exercises that
+    extension: Max ΔT of stacks of 2 to 8 planes (the Fig. 5 midpoint
+    per-plane geometry and power), for Model A (fitted on the 3-plane
+    block), Model B(100), the 1-D model and the FV reference.
+
+    Expected shape: superlinear growth with the plane count — each plane
+    adds both heat and resistance in series — with the model-vs-FV error
+    staying bounded as N grows (the extension stays valid). *)
+
+val plane_counts : int list
+
+val stack_with_planes : int -> Ttsv_geometry.Stack.t
+(** The N-plane version of the Fig. 5 midpoint geometry. *)
+
+val run : ?resolution:int -> unit -> Report.figure
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,93 @@
+module Stats = Ttsv_numerics.Stats
+
+type series = { label : string; ys : float array }
+
+type figure = {
+  title : string;
+  x_label : string;
+  x_unit : string;
+  xs : float array;
+  series : series list;
+}
+
+let figure ~title ~x_label ~x_unit ~xs series =
+  List.iter
+    (fun s ->
+      if Array.length s.ys <> Array.length xs then
+        invalid_arg
+          (Printf.sprintf "Report.figure: series %S has %d points, expected %d" s.label
+             (Array.length s.ys) (Array.length xs)))
+    series;
+  { title; x_label; x_unit; xs; series }
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+let heading ppf title =
+  Format.fprintf ppf "@,%s@,%s@," title (String.make (String.length title) '-')
+
+let print_figure ppf fig =
+  heading ppf fig.title;
+  let xcol = Printf.sprintf "%s [%s]" fig.x_label fig.x_unit in
+  let width = Stdlib.max 12 (String.length xcol + 2) in
+  let cell_width s = Stdlib.max 12 (String.length s + 2) in
+  Format.fprintf ppf "%s" (pad width xcol);
+  List.iter (fun s -> Format.fprintf ppf "%s" (pad (cell_width s.label) s.label)) fig.series;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i x ->
+      Format.fprintf ppf "%s" (pad width (Printf.sprintf "%.4g" x));
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "%s" (pad (cell_width s.label) (Printf.sprintf "%.3f" s.ys.(i))))
+        fig.series;
+      Format.fprintf ppf "@,")
+    fig.xs
+
+type error_row = { model : string; max_rel : float; mean_rel : float }
+
+let errors_vs ~reference fig =
+  let ref_series =
+    match List.find_opt (fun s -> String.equal s.label reference) fig.series with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  List.filter_map
+    (fun s ->
+      if String.equal s.label reference then None
+      else
+        Some
+          {
+            model = s.label;
+            max_rel = Stats.max_rel_error s.ys ref_series.ys;
+            mean_rel = Stats.mean_rel_error s.ys ref_series.ys;
+          })
+    fig.series
+
+let percent x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let print_errors ppf rows =
+  List.iter
+    (fun { model; max_rel; mean_rel } ->
+      Format.fprintf ppf "%-22s max %-8s avg %s@," model (percent max_rel) (percent mean_rel))
+    rows
+
+type table = { title : string; columns : string list; rows : (string * string list) list }
+
+let print_table ppf t =
+  heading ppf t.title;
+  let first_width =
+    List.fold_left (fun acc (label, _) -> Stdlib.max acc (String.length label)) 8 t.rows + 2
+  in
+  let widths = List.map (fun c -> Stdlib.max 10 (String.length c + 2)) t.columns in
+  Format.fprintf ppf "%s" (pad first_width "");
+  List.iter2 (fun c w -> Format.fprintf ppf "%s" (pad w c)) t.columns widths;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (label, cells) ->
+      Format.fprintf ppf "%s" (pad first_width label);
+      (try List.iter2 (fun cell w -> Format.fprintf ppf "%s" (pad w cell)) cells widths
+       with Invalid_argument _ -> invalid_arg "Report.print_table: ragged row");
+      Format.fprintf ppf "@,")
+    t.rows

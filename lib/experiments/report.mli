@@ -1,0 +1,49 @@
+(** Result containers and ASCII rendering for the experiment suite.
+
+    Every reproduced figure is a set of named series over a common sweep
+    variable; every table is a grid of labelled cells.  The benchmark
+    binary prints these in the same row/series layout the paper reports,
+    and the error summaries reproduce the paper's "maximum / average
+    error vs. FEM" statements. *)
+
+type series = { label : string; ys : float array }
+
+type figure = {
+  title : string;  (** e.g. "Fig. 4 - Max dT vs TTSV radius" *)
+  x_label : string;
+  x_unit : string;
+  xs : float array;  (** sweep points *)
+  series : series list;  (** curves, reference (FV) last by convention *)
+}
+
+val figure :
+  title:string -> x_label:string -> x_unit:string -> xs:float array -> series list -> figure
+(** Validates that every series has one entry per sweep point. *)
+
+val print_figure : Format.formatter -> figure -> unit
+(** Renders the sweep as an aligned table, one row per sweep point, one
+    column per series. *)
+
+type error_row = {
+  model : string;
+  max_rel : float;  (** maximum pointwise |model − ref|/ref *)
+  mean_rel : float;  (** mean pointwise relative error *)
+}
+
+val errors_vs : reference:string -> figure -> error_row list
+(** [errors_vs ~reference fig] compares every other series against the
+    series labelled [reference].  Raises [Not_found] if absent. *)
+
+val print_errors : Format.formatter -> error_row list -> unit
+(** Renders the error summary ("model: max X%, avg Y%" rows). *)
+
+type table = { title : string; columns : string list; rows : (string * string list) list }
+(** A generic labelled table: column headers plus (row label, cells). *)
+
+val print_table : Format.formatter -> table -> unit
+
+val percent : float -> string
+(** [percent 0.042] is ["4.2%"]. *)
+
+val heading : Format.formatter -> string -> unit
+(** Prints an underlined section heading. *)

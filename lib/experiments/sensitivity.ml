@@ -1,0 +1,86 @@
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Stack = Ttsv_geometry.Stack
+module Tsv = Ttsv_geometry.Tsv
+module Material = Ttsv_physics.Material
+module Units = Ttsv_physics.Units
+
+type parameter = Radius | Liner | Ild | Bond | Substrate | Filler_k | Liner_k
+
+let all_parameters = [ Radius; Liner; Ild; Bond; Substrate; Filler_k; Liner_k ]
+
+let name = function
+  | Radius -> "TTSV radius r"
+  | Liner -> "liner thickness t_L"
+  | Ild -> "ILD thickness t_D"
+  | Bond -> "bond thickness t_b"
+  | Substrate -> "substrate thickness t_Si2,3"
+  | Filler_k -> "filler conductivity k_f"
+  | Liner_k -> "liner conductivity k_L"
+
+(* the Fig. 5 midpoint geometry with one parameter scaled by [f] *)
+let perturbed param f =
+  let base ?r ?t_liner ?t_ild ?t_bond ?t_si23 () =
+    Params.block
+      ~r:(Option.value r ~default:(Units.um 5.))
+      ~t_liner:(Option.value t_liner ~default:(Units.um 1.))
+      ~t_ild:(Option.value t_ild ~default:(Units.um 7.))
+      ~t_bond:(Option.value t_bond ~default:(Units.um 1.))
+      ~t_si23:(Option.value t_si23 ~default:(Units.um 45.))
+      ()
+  in
+  match param with
+  | Radius -> base ~r:(Units.um (5. *. f)) ()
+  | Liner -> base ~t_liner:(Units.um (1. *. f)) ()
+  | Ild -> base ~t_ild:(Units.um (7. *. f)) ()
+  | Bond -> base ~t_bond:(Units.um (1. *. f)) ()
+  | Substrate -> base ~t_si23:(Units.um (45. *. f)) ()
+  | Filler_k ->
+    let s = base () in
+    let tsv = s.Stack.tsv in
+    Stack.with_tsv s
+      { tsv with Tsv.filler = Material.with_conductivity tsv.Tsv.filler (400. *. f) }
+  | Liner_k ->
+    let s = base () in
+    let tsv = s.Stack.tsv in
+    Stack.with_tsv s
+      { tsv with Tsv.liner = Material.with_conductivity tsv.Tsv.liner (1.4 *. f) }
+
+let log_sensitivity rise param =
+  let h = 0.02 in
+  let up = rise (perturbed param (1. +. h)) in
+  let down = rise (perturbed param (1. -. h)) in
+  let mid = rise (perturbed param 1.) in
+  (up -. down) /. (2. *. h *. mid)
+
+let sensitivities ?resolution () =
+  let coeffs = Reference.block_coefficients () in
+  let rise_a s = Model_a.max_rise (Model_a.solve ~coeffs s) in
+  let rise_b s = Model_b.max_rise (Model_b.solve_n s 100) in
+  let rise_fv s = Reference.max_rise ?resolution s in
+  List.map
+    (fun p ->
+      (p, log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
+    all_parameters
+
+let run ?resolution () =
+  let rows =
+    List.map
+      (fun (p, a, b, fv) ->
+        ( name p,
+          [ Printf.sprintf "%+.3f" a; Printf.sprintf "%+.3f" b; Printf.sprintf "%+.3f" fv ] ))
+      (sensitivities ?resolution ())
+  in
+  {
+    Report.title = "Sensitivity S = dln(max dT)/dln(p) at the Fig. 5 midpoint";
+    columns = [ "Model A"; "Model B(100)"; "FV" ];
+    rows;
+  }
+
+let print ?resolution ppf () =
+  Format.fprintf ppf "@[<v>";
+  Report.print_table ppf (run ?resolution ());
+  Format.fprintf ppf
+    "@,negative S: growing the parameter cools the stack; the models must@,\
+     reproduce both sign and magnitude to be usable for design exploration.@]@."

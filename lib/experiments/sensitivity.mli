@@ -1,0 +1,27 @@
+(** Parameter-sensitivity analysis (extension beyond the paper).
+
+    The paper argues qualitatively which parameters matter (§IV); this
+    experiment quantifies them: the normalized logarithmic sensitivity
+
+      S(p) = (∂ΔT/ΔT) / (∂p/p)
+
+    of the maximum temperature rise to every TTSV parameter, computed by
+    central finite differences (±2 %) around the Fig. 5 midpoint, for
+    Model A (fitted), Model B(100) and the FV reference.  Agreement on
+    {e derivatives}, not just values, is the stronger test of an
+    analytical model intended for design exploration. *)
+
+type parameter = Radius | Liner | Ild | Bond | Substrate | Filler_k | Liner_k
+
+val all_parameters : parameter list
+
+val name : parameter -> string
+
+val run : ?resolution:int -> unit -> Report.table
+(** Rows = parameters, columns = S per model plus the FV reference. *)
+
+val sensitivities : ?resolution:int -> unit -> (parameter * float * float * float) list
+(** [(param, S_modelA, S_modelB, S_fv)] rows — the raw numbers behind
+    {!run}, used by the tests. *)
+
+val print : ?resolution:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,12 @@
+let time_ms ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timing.time_ms: repeats must be >= 1";
+  let samples = Array.make repeats 0. in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let t0 = Sys.time () in
+    result := Some (f ());
+    samples.(i) <- (Sys.time () -. t0) *. 1000.
+  done;
+  Array.sort compare samples;
+  let median = samples.(repeats / 2) in
+  match !result with Some r -> (r, median) | None -> assert false

@@ -1,0 +1,5 @@
+(** Wall-clock timing for the runtime columns of Table I and §IV-E. *)
+
+val time_ms : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f] [repeats] times (default 3) and returns the last
+    result together with the median elapsed time in milliseconds. *)

@@ -1,0 +1,44 @@
+(** Monte-Carlo process-variation study (extension beyond the paper).
+
+    Fabricated TTSVs deviate from their drawn geometry: etch variation
+    changes the radius, deposition variation the liner thickness, wafer
+    thinning the substrate thickness, and the effective silicon
+    conductivity varies with doping and temperature.  This experiment
+    samples those variations (independent log-normal factors with
+    configurable sigmas), evaluates the closed-form three-plane Model A
+    on every sample — the throughput argument for analytical models —
+    and reports the Max ΔT distribution and the yield against a thermal
+    budget. *)
+
+type tolerances = {
+  radius_sigma : float;  (** σ of ln(radius factor), e.g. 0.05 for ~5 % *)
+  liner_sigma : float;
+  substrate_sigma : float;
+  conductivity_sigma : float;  (** silicon conductivity *)
+}
+
+val default_tolerances : tolerances
+(** 5 % radius, 10 % liner, 5 % substrate, 5 % conductivity. *)
+
+type summary = {
+  samples : int;
+  mean : float;
+  stddev : float;
+  p5 : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  worst : float;
+  yield_at_budget : float;  (** fraction of samples with Max ΔT ≤ budget *)
+  budget : float;
+}
+
+val run :
+  ?seed:int -> ?samples:int -> ?tolerances:tolerances -> ?budget:float -> unit -> summary
+(** [run ()] samples the Fig. 5 midpoint geometry (defaults: seed 42,
+    2000 samples, {!default_tolerances}, budget = 1.1 × nominal).
+    Deterministic for a fixed seed. *)
+
+val to_table : summary -> Report.table
+
+val print : Format.formatter -> unit -> unit

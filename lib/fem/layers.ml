@@ -1,0 +1,119 @@
+module Stack = Ttsv_geometry.Stack
+module Plane = Ttsv_geometry.Plane
+module Tsv = Ttsv_geometry.Tsv
+
+type t = {
+  thickness : float;
+  material : Ttsv_physics.Material.t;
+  tsv : bool;
+  source_density : float;
+  annular_source : bool;
+  ncells : int;
+}
+
+let cells_for resolution thickness =
+  let res = float_of_int resolution in
+  let ideal = Float.ceil (thickness /. 8e-6 *. res) in
+  Stdlib.max 2 (Stdlib.min (int_of_float (40. *. res)) (int_of_float ideal))
+
+(* Split one substrate of thickness [t_sub] into bulk/device (and, for the
+   first plane, below/above the TSV tip) slices. *)
+let substrate_layers resolution (p : Plane.t) ~tip_depth =
+  let t_sub = p.Plane.t_substrate in
+  let marks =
+    List.sort_uniq compare
+      (List.filter
+         (fun z -> z > 0. && z < t_sub)
+         [
+           t_sub -. p.Plane.t_device;
+           (match tip_depth with Some d -> t_sub -. d | None -> -1.);
+         ])
+  in
+  let bounds = (0. :: marks) @ [ t_sub ] in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  List.map
+    (fun (a, b) ->
+      let in_device = b > t_sub -. p.Plane.t_device +. 1e-30 in
+      let in_tsv = match tip_depth with Some d -> a >= t_sub -. d -. 1e-30 | None -> false in
+      {
+        thickness = b -. a;
+        material = p.Plane.substrate;
+        tsv = in_tsv;
+        source_density = (if in_device then p.Plane.device_power_density else 0.);
+        annular_source = true;
+        ncells = cells_for resolution (b -. a);
+      })
+    (pairs bounds)
+
+let of_stack ~resolution stack =
+  if resolution < 1 then invalid_arg "Layers.of_stack: resolution must be >= 1";
+  let n = Stack.num_planes stack in
+  let tsv = stack.Stack.tsv in
+  let plane_layers i =
+    let p = Stack.plane stack i in
+    let bond =
+      if p.Plane.t_bond > 0. then
+        [
+          {
+            thickness = p.Plane.t_bond;
+            material = p.Plane.bond;
+            tsv = true;
+            source_density = 0.;
+            annular_source = true;
+            ncells = cells_for resolution p.Plane.t_bond;
+          };
+        ]
+      else []
+    in
+    let tip_depth = if i = 0 then Some tsv.Tsv.extension else None in
+    let subs =
+      if i = 0 then substrate_layers resolution p ~tip_depth
+      else List.map (fun l -> { l with tsv = true }) (substrate_layers resolution p ~tip_depth:None)
+    in
+    let top = i = n - 1 in
+    let ild =
+      {
+        thickness = p.Plane.t_ild;
+        material = p.Plane.ild;
+        tsv = not top;
+        source_density = p.Plane.ild_power_density;
+        annular_source = not top;
+        ncells = cells_for resolution p.Plane.t_ild;
+      }
+    in
+    bond @ subs @ [ ild ]
+  in
+  List.concat (List.init n plane_layers)
+
+let z_faces layers =
+  let faces = ref [ 0. ] and z = ref 0. in
+  List.iter
+    (fun l ->
+      let z1 = !z +. l.thickness in
+      let h = l.thickness /. float_of_int l.ncells in
+      for s = 1 to l.ncells - 1 do
+        faces := (!z +. (h *. float_of_int s)) :: !faces
+      done;
+      faces := z1 :: !faces;
+      z := z1)
+    layers;
+  Array.of_list (List.rev !faces)
+
+let row_layers layers =
+  let total = List.fold_left (fun acc l -> acc + l.ncells) 0 layers in
+  match layers with
+  | [] -> invalid_arg "Layers.row_layers: empty layer list"
+  | first :: _ ->
+    let rows = Array.make total first in
+    let row = ref 0 in
+    List.iter
+      (fun l ->
+        for _ = 1 to l.ncells do
+          rows.(!row) <- l;
+          incr row
+        done)
+      layers;
+    rows

@@ -1,0 +1,35 @@
+(** Axial (z) slicing of a stack into homogeneous layers.
+
+    Both finite-volume discretizations — the axisymmetric r–z solver and
+    the 3-D Cartesian solver — mesh the vertical direction the same way:
+    every material interface, the device layer, and the TSV tip land
+    exactly on a face.  This module owns that decomposition. *)
+
+type t = {
+  thickness : float;  (** layer extent, m *)
+  material : Ttsv_physics.Material.t;  (** base material away from the TSV *)
+  tsv : bool;  (** whether the TTSV crosses this z-range *)
+  source_density : float;  (** volumetric heat, W/m³ *)
+  annular_source : bool;
+      (** when true the source exists only outside the TTSV's outer radius
+          (device keep-out and crossed ILDs); when false it covers the
+          whole footprint (the top plane's ILD) *)
+  ncells : int;  (** axial cells this layer receives at the chosen resolution *)
+}
+
+val cells_for : int -> float -> int
+(** [cells_for resolution thickness] is the meshing rule: roughly one
+    cell per 8 µm/resolution, clamped to [2, 40·resolution]. *)
+
+val of_stack : resolution:int -> Ttsv_geometry.Stack.t -> t list
+(** Bottom-to-top slicing of the stack.  Within each plane: bonding layer
+    (if any), substrate below the device layer, device layer, ILD; the
+    first plane's substrate additionally splits at the TSV tip. *)
+
+val z_faces : t list -> float array
+(** The axial face positions the slicing induces (each layer subdivided
+    into [ncells] equal cells), starting at 0. *)
+
+val row_layers : t list -> t array
+(** One entry per axial cell row, bottom to top — the lookup the
+    assemblers use. *)

@@ -1,0 +1,48 @@
+(** Discretized axisymmetric heat-conduction problems.
+
+    A problem is a grid plus per-cell conductivity (W/(m·K)) and total
+    source (W).  {!of_stack} builds the paper's validation setup: the
+    square unit cell is mapped to the area-equivalent cylinder
+    (R₀ = √(A₀/π)) with the TTSV on the axis; every material interface
+    (filler/liner/silicon radially; substrate, device layer, ILD and
+    bond axially, plus the TSV tip) lands exactly on a grid face, so no
+    material is smeared.  Device and ILD heat is deposited outside the
+    TTSV's outer radius, matching {!Ttsv_geometry.Stack.heat_inputs}
+    wattage exactly.
+
+    The bottom boundary (z = 0) is the isothermal heat sink; all other
+    boundaries are adiabatic — the paper's COMSOL configuration. *)
+
+type t = {
+  grid : Grid.t;
+  conductivity : float array;  (** per cell, W/(m·K), indexed by {!Grid.index} *)
+  source : float array;  (** per cell, W *)
+}
+
+val make : grid:Grid.t -> conductivity:float array -> source:float array -> t
+(** [make ~grid ~conductivity ~source] validates lengths and positivity
+    of conductivities; used directly by tests to set up problems with
+    known analytic solutions. *)
+
+val of_stack : ?resolution:int -> Ttsv_geometry.Stack.t -> t
+(** [of_stack ?resolution stack] builds the unit-cell problem.
+    [resolution] (default 1) scales the cell counts in every direction;
+    2 roughly quadruples the cell count (mesh-convergence ablations). *)
+
+val materials_of_stack : ?resolution:int -> Ttsv_geometry.Stack.t -> Ttsv_physics.Material.t array
+(** [materials_of_stack ?resolution stack] is the per-cell material map of
+    the grid {!of_stack} builds with the same arguments (same indexing);
+    the nonlinear solver uses it to re-evaluate k(T) per Picard sweep. *)
+
+val total_source : t -> float
+(** Sum of all cell sources, W. *)
+
+val cell_count : t -> int
+
+val uniform_column :
+  layers:(float * float) list -> radius:float -> cells_per_layer:int -> top_flux:float -> t
+(** [uniform_column ~layers ~radius ~cells_per_layer ~top_flux] builds a
+    radially uniform stack of slabs [(thickness, conductivity)] heated
+    with [top_flux] watts spread over the top row of cells — the
+    configuration with the textbook series-resistance solution, used as
+    the solver's analytic oracle. *)

@@ -1,0 +1,188 @@
+module Grid = Grid
+module Sparse = Ttsv_numerics.Sparse
+module Iterative = Ttsv_numerics.Iterative
+
+type result = { problem : Problem.t; temps : float array; iterations : int; residual : float }
+
+(* Series (harmonic) combination of the two half-cell conductances across an
+   internal face of area [a]. *)
+let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
+
+let assemble ?bottom_h ?extra_diagonal (p : Problem.t) =
+  let g = p.Problem.grid in
+  let nr = Grid.nr g and nz = Grid.nz g in
+  let n = nr * nz in
+  let b = Sparse.builder ~hint:(5 * n) n n in
+  let k ir iz = p.Problem.conductivity.(Grid.index g ir iz) in
+  let stamp i j cond =
+    Sparse.add b i i cond;
+    Sparse.add b j j cond;
+    Sparse.add b i j (-.cond);
+    Sparse.add b j i (-.cond)
+  in
+  for iz = 0 to nz - 1 do
+    for ir = 0 to nr - 1 do
+      let idx = Grid.index g ir iz in
+      (* radial neighbour (ir+1) *)
+      if ir < nr - 1 then begin
+        let a = Grid.radial_face_area g ir iz in
+        let d1 = 0.5 *. Grid.dr g ir and d2 = 0.5 *. Grid.dr g (ir + 1) in
+        let cond = face_conductance a d1 (k ir iz) d2 (k (ir + 1) iz) in
+        stamp idx (Grid.index g (ir + 1) iz) cond
+      end;
+      (* axial neighbour (iz+1) *)
+      if iz < nz - 1 then begin
+        let a = Grid.axial_face_area g ir in
+        let d1 = 0.5 *. Grid.dz g iz and d2 = 0.5 *. Grid.dz g (iz + 1) in
+        let cond = face_conductance a d1 (k ir iz) d2 (k ir (iz + 1)) in
+        stamp idx (Grid.index g ir (iz + 1)) cond
+      end;
+      (* bottom boundary: isothermal sink across the half cell, or a
+         convective film in series with it *)
+      if iz = 0 then begin
+        let a = Grid.axial_face_area g ir in
+        let half_cell = 0.5 *. Grid.dz g iz /. (a *. k ir iz) in
+        let cond =
+          match bottom_h with
+          | None -> 1. /. half_cell
+          | Some h ->
+            if h <= 0. then invalid_arg "Solver.solve: bottom_h must be positive";
+            1. /. (half_cell +. (1. /. (h *. a)))
+        in
+        Sparse.add b idx idx cond
+      end
+    done
+  done;
+  (match extra_diagonal with
+  | None -> ()
+  | Some d ->
+    if Array.length d <> n then invalid_arg "Solver.assemble: extra diagonal length mismatch";
+    Array.iteri (fun i x -> Sparse.add b i i x) d);
+  Sparse.finalize b
+
+let solve ?(tol = 1e-10) ?max_iter ?bottom_h p =
+  let matrix = assemble ?bottom_h p in
+  let n = Sparse.rows matrix in
+  let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
+  let r = Iterative.cg ~tol ~max_iter matrix p.Problem.source in
+  if not r.Iterative.converged then raise (Iterative.Not_converged r);
+  {
+    problem = p;
+    temps = r.Iterative.solution;
+    iterations = r.Iterative.iterations;
+    residual = r.Iterative.residual;
+  }
+
+let max_rise r = Array.fold_left Float.max 0. r.temps
+
+type transient = { times : float array; max_rises : float array; final : result }
+
+let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ~materials ~dt ~steps p =
+  if dt <= 0. then invalid_arg "Solver.solve_transient: dt must be positive";
+  if steps < 1 then invalid_arg "Solver.solve_transient: steps must be >= 1";
+  let n = Array.length p.Problem.conductivity in
+  if Array.length materials <> n then
+    invalid_arg "Solver.solve_transient: materials length mismatch";
+  let module Material = Ttsv_physics.Material in
+  let g = p.Problem.grid in
+  let nr = Grid.nr g in
+  let caps =
+    Array.init n (fun i ->
+        Grid.volume g (i mod nr) (i / nr)
+        *. materials.(i).Material.volumetric_heat_capacity)
+  in
+  (* backward Euler: (G + C/dt) T_next = q(t_next) + (C/dt) T_now; the
+     system matrix is assembled once and every step warm-starts CG from the
+     previous instant *)
+  let cdt = Array.map (fun c -> c /. dt) caps in
+  let system = assemble ?bottom_h ~extra_diagonal:cdt p in
+  let times = Array.make (steps + 1) 0. in
+  let maxes = Array.make (steps + 1) 0. in
+  let temps = ref (Array.make n 0.) in
+  let total_iters = ref 0 in
+  for m = 1 to steps do
+    let time = float_of_int m *. dt in
+    let scale = power time in
+    let rhs =
+      Array.init n (fun i -> (p.Problem.source.(i) *. scale) +. (cdt.(i) *. !temps.(i)))
+    in
+    let r = Iterative.cg ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps system rhs in
+    if not r.Iterative.converged then raise (Iterative.Not_converged r);
+    temps := r.Iterative.solution;
+    total_iters := !total_iters + r.Iterative.iterations;
+    times.(m) <- time;
+    maxes.(m) <- Array.fold_left Float.max 0. !temps
+  done;
+  {
+    times;
+    max_rises = maxes;
+    final = { problem = p; temps = !temps; iterations = !total_iters; residual = 0. };
+  }
+
+let solve_nonlinear ?tol ?(picard_tol = 1e-4) ?(max_picard = 50) ~materials
+    ~sink_temperature_k p =
+  let n = Array.length p.Problem.conductivity in
+  if Array.length materials <> n then
+    invalid_arg "Solver.solve_nonlinear: materials length mismatch";
+  let module Material = Ttsv_physics.Material in
+  let rec picard sweep problem prev_max =
+    let res = solve ?tol problem in
+    let m = max_rise res in
+    if Float.abs (m -. prev_max) <= picard_tol *. Float.max m 1e-12 then (res, sweep)
+    else if sweep >= max_picard then
+      failwith "Solver.solve_nonlinear: Picard iteration did not settle"
+    else begin
+      let conductivity =
+        Array.init n (fun i ->
+            Material.k_at materials.(i) (sink_temperature_k +. res.temps.(i)))
+      in
+      picard (sweep + 1)
+        (Problem.make ~grid:problem.Problem.grid ~conductivity
+           ~source:problem.Problem.source)
+        m
+    end
+  in
+  picard 1 p Float.neg_infinity
+
+let find_cell faces x =
+  let n = Array.length faces - 1 in
+  if x <= faces.(0) then 0
+  else if x >= faces.(n) then n - 1
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let m = (!lo + !hi) / 2 in
+      if faces.(m) <= x then lo := m else hi := m
+    done;
+    !lo
+  end
+
+let rise_at res ~r ~z =
+  let g = res.problem.Problem.grid in
+  let ir = find_cell g.Grid.r_faces r and iz = find_cell g.Grid.z_faces z in
+  res.temps.(Grid.index g ir iz)
+
+let top_rise_profile res =
+  let g = res.problem.Problem.grid in
+  let nz = Grid.nz g in
+  Array.init (Grid.nr g) (fun ir -> (Grid.r_center g ir, res.temps.(Grid.index g ir (nz - 1))))
+
+let axis_profile res =
+  let g = res.problem.Problem.grid in
+  Array.init (Grid.nz g) (fun iz -> (Grid.z_center g iz, res.temps.(Grid.index g 0 iz)))
+
+let sink_heat_flow res =
+  let p = res.problem in
+  let g = p.Problem.grid in
+  let acc = ref 0. in
+  for ir = 0 to Grid.nr g - 1 do
+    let idx = Grid.index g ir 0 in
+    let a = Grid.axial_face_area g ir in
+    let cond = a *. p.Problem.conductivity.(idx) /. (0.5 *. Grid.dz g 0) in
+    acc := !acc +. (cond *. res.temps.(idx))
+  done;
+  !acc
+
+let energy_imbalance res =
+  let src = Problem.total_source res.problem in
+  if src = 0. then 0. else Float.abs (sink_heat_flow res -. src) /. src

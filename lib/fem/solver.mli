@@ -1,0 +1,94 @@
+(** Finite-volume solution of an axisymmetric conduction problem.
+
+    Conservative two-point flux discretization: the conductance of each
+    internal face combines the two adjacent cells' conductivities in
+    series over their centre-to-face distances (the harmonic-mean rule,
+    exact for piecewise-constant k in 1-D, which is how every material
+    interface in this library is meshed).  The bottom boundary is an
+    isothermal sink at rise 0; all other boundaries are adiabatic.
+
+    The assembled conductance matrix is symmetric positive definite and
+    is solved with Jacobi-preconditioned conjugate gradients. *)
+
+type result = {
+  problem : Problem.t;
+  temps : float array;  (** per-cell temperature rise above the sink, K *)
+  iterations : int;  (** CG iterations used *)
+  residual : float;  (** final relative residual *)
+}
+
+val solve : ?tol:float -> ?max_iter:int -> ?bottom_h:float -> Problem.t -> result
+(** [solve p] assembles and solves.  [tol] defaults to [1e-10].
+    [bottom_h], when given, replaces the isothermal sink with a
+    convective boundary of that heat-transfer coefficient (W/(m²·K)) to
+    a 0-rise coolant — the package-level boundary §II mentions; rises
+    are then above the coolant, not the die surface.
+    Raises {!Ttsv_numerics.Iterative.Not_converged} when CG fails. *)
+
+type transient = {
+  times : float array;  (** sample instants, s *)
+  max_rises : float array;  (** Max ΔT at each instant, K *)
+  final : result;  (** the state after the last step *)
+}
+
+val solve_transient :
+  ?tol:float ->
+  ?bottom_h:float ->
+  ?power:(float -> float) ->
+  materials:Ttsv_physics.Material.t array ->
+  dt:float ->
+  steps:int ->
+  Problem.t ->
+  transient
+(** [solve_transient ~materials ~dt ~steps p] integrates
+    C·dT/dt + G·T = q(t) by backward Euler from a uniform 0-rise start:
+    the field-solver counterpart of {!Ttsv_core.Transient}, used to
+    validate its lumped capacitances.  Cell capacities are volume ×
+    the material's volumetric heat capacity ([materials] from
+    {!Problem.materials_of_stack}).  [power] scales the source over
+    time (default constant 1).  Each step solves (G + C/Δt) by CG
+    warm-started from the previous instant. *)
+
+val solve_nonlinear :
+  ?tol:float ->
+  ?picard_tol:float ->
+  ?max_picard:int ->
+  materials:Ttsv_physics.Material.t array ->
+  sink_temperature_k:float ->
+  Problem.t ->
+  result * int
+(** [solve_nonlinear ~materials ~sink_temperature_k p] solves with
+    temperature-dependent conductivities by Picard iteration: solve with
+    the current k field, re-evaluate every cell's {!Ttsv_physics.Material.k_at}
+    at its absolute temperature ([sink_temperature_k] + rise), repeat
+    until the maximum rise changes by less than [picard_tol] (default
+    1e-4 relative; [max_picard] defaults to 50).  Returns the converged
+    result and the number of Picard sweeps.  [materials] comes from
+    {!Problem.materials_of_stack} (length-checked).  With
+    temperature-independent materials this returns after the second
+    sweep with the linear solution.  Raises [Failure] when the Picard
+    loop does not settle. *)
+
+val max_rise : result -> float
+(** Largest cell temperature rise — the paper's Max ΔT. *)
+
+val rise_at : result -> r:float -> z:float -> float
+(** [rise_at res ~r ~z] is the rise of the cell containing the point
+    (nearest cell when outside the domain). *)
+
+val top_rise_profile : result -> (float * float) array
+(** (r, ΔT) along the top row of cells. *)
+
+val axis_profile : result -> (float * float) array
+(** (z, ΔT) along the innermost (axis) column of cells. *)
+
+val sink_heat_flow : result -> float
+(** Heat leaving through the bottom boundary, W (isothermal-boundary
+    formula; results obtained with [bottom_h] report the half-cell
+    conduction only).  Energy conservation demands this equal
+    {!Problem.total_source} for isothermal solves; the tests assert the
+    relative imbalance is below 1e-6. *)
+
+val energy_imbalance : result -> float
+(** |sink flow − total source| / total source (0 when there is no
+    source). *)

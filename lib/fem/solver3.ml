@@ -1,0 +1,123 @@
+module Sparse = Ttsv_numerics.Sparse
+module Iterative = Ttsv_numerics.Iterative
+
+type result = { problem : Problem3.t; temps : float array; iterations : int; residual : float }
+
+let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
+
+let assemble (p : Problem3.t) =
+  let g = p.Problem3.grid in
+  let nx = Grid3.nx g and ny = Grid3.ny g and nz = Grid3.nz g in
+  let n = nx * ny * nz in
+  let b = Sparse.builder ~hint:(7 * n) n n in
+  let k ix iy iz = p.Problem3.conductivity.(Grid3.index g ix iy iz) in
+  let stamp i j cond =
+    Sparse.add b i i cond;
+    Sparse.add b j j cond;
+    Sparse.add b i j (-.cond);
+    Sparse.add b j i (-.cond)
+  in
+  for iz = 0 to nz - 1 do
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let idx = Grid3.index g ix iy iz in
+        if ix < nx - 1 then begin
+          let a = Grid3.face_area_x g iy iz in
+          let cond =
+            face_conductance a
+              (0.5 *. Grid3.dx g ix)
+              (k ix iy iz)
+              (0.5 *. Grid3.dx g (ix + 1))
+              (k (ix + 1) iy iz)
+          in
+          stamp idx (Grid3.index g (ix + 1) iy iz) cond
+        end;
+        if iy < ny - 1 then begin
+          let a = Grid3.face_area_y g ix iz in
+          let cond =
+            face_conductance a
+              (0.5 *. Grid3.dy g iy)
+              (k ix iy iz)
+              (0.5 *. Grid3.dy g (iy + 1))
+              (k ix (iy + 1) iz)
+          in
+          stamp idx (Grid3.index g ix (iy + 1) iz) cond
+        end;
+        if iz < nz - 1 then begin
+          let a = Grid3.face_area_z g ix iy in
+          let cond =
+            face_conductance a
+              (0.5 *. Grid3.dz g iz)
+              (k ix iy iz)
+              (0.5 *. Grid3.dz g (iz + 1))
+              (k ix iy (iz + 1))
+          in
+          stamp idx (Grid3.index g ix iy (iz + 1)) cond
+        end;
+        if iz = 0 then begin
+          (* isothermal sink across the bottom half cell *)
+          let a = Grid3.face_area_z g ix iy in
+          Sparse.add b idx idx (a *. k ix iy iz /. (0.5 *. Grid3.dz g iz))
+        end
+      done
+    done
+  done;
+  Sparse.finalize b
+
+let solve ?(tol = 1e-9) ?max_iter p =
+  let matrix = assemble p in
+  let n = Sparse.rows matrix in
+  let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 4000 (10 * n) in
+  let r = Iterative.cg ~tol ~max_iter matrix p.Problem3.source in
+  if not r.Iterative.converged then raise (Iterative.Not_converged r);
+  {
+    problem = p;
+    temps = r.Iterative.solution;
+    iterations = r.Iterative.iterations;
+    residual = r.Iterative.residual;
+  }
+
+let max_rise r = Array.fold_left Float.max 0. r.temps
+
+let find_cell faces x =
+  let n = Array.length faces - 1 in
+  if x <= faces.(0) then 0
+  else if x >= faces.(n) then n - 1
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let m = (!lo + !hi) / 2 in
+      if faces.(m) <= x then lo := m else hi := m
+    done;
+    !lo
+  end
+
+let rise_at res ~x ~y ~z =
+  let g = res.problem.Problem3.grid in
+  let ix = find_cell g.Grid3.x_faces x in
+  let iy = find_cell g.Grid3.y_faces y in
+  let iz = find_cell g.Grid3.z_faces z in
+  res.temps.(Grid3.index g ix iy iz)
+
+let sink_heat_flow res =
+  let p = res.problem in
+  let g = p.Problem3.grid in
+  let acc = ref 0. in
+  for iy = 0 to Grid3.ny g - 1 do
+    for ix = 0 to Grid3.nx g - 1 do
+      let idx = Grid3.index g ix iy 0 in
+      let a = Grid3.face_area_z g ix iy in
+      let cond = a *. p.Problem3.conductivity.(idx) /. (0.5 *. Grid3.dz g 0) in
+      acc := !acc +. (cond *. res.temps.(idx))
+    done
+  done;
+  !acc
+
+let energy_imbalance res =
+  let src = Problem3.total_source res.problem in
+  if src = 0. then 0. else Float.abs (sink_heat_flow res -. src) /. src
+
+let top_field res =
+  let g = res.problem.Problem3.grid in
+  let nx = Grid3.nx g and ny = Grid3.ny g and nz = Grid3.nz g in
+  Array.init (nx * ny) (fun i -> res.temps.(Grid3.index g (i mod nx) (i / nx) (nz - 1)))

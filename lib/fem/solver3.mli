@@ -1,0 +1,31 @@
+(** Finite-volume solution of a 3-D Cartesian conduction problem.
+
+    Same discretization and boundary conditions as the axisymmetric
+    {!Solver} — harmonic-mean two-point fluxes, isothermal sink at z = 0,
+    adiabatic everywhere else — over the square-cell {!Problem3}
+    geometry; solved with Jacobi-preconditioned conjugate gradients. *)
+
+type result = {
+  problem : Problem3.t;
+  temps : float array;  (** per-cell rise above the sink, K *)
+  iterations : int;
+  residual : float;
+}
+
+val solve : ?tol:float -> ?max_iter:int -> Problem3.t -> result
+(** [solve p] assembles and solves ([tol] defaults to [1e-9]).
+    Raises {!Ttsv_numerics.Iterative.Not_converged} on failure. *)
+
+val max_rise : result -> float
+
+val rise_at : result -> x:float -> y:float -> z:float -> float
+(** Rise of the cell containing the point (clamped to the domain). *)
+
+val sink_heat_flow : result -> float
+(** Heat leaving through the bottom boundary, W. *)
+
+val energy_imbalance : result -> float
+(** |sink flow − total source| / total source. *)
+
+val top_field : result -> float array
+(** The top row of cells as a row-major nx × ny field (hotspot maps). *)

@@ -1,0 +1,27 @@
+let to_channel (res : Solver.result) oc =
+  let p = res.Solver.problem in
+  let g = p.Problem.grid in
+  let nr = Grid.nr g and nz = Grid.nz g in
+  let pr = Printf.fprintf in
+  pr oc "# vtk DataFile Version 2.0\n";
+  pr oc "TTSV finite-volume solution (r-z axisymmetric section)\n";
+  pr oc "ASCII\n";
+  pr oc "DATASET STRUCTURED_GRID\n";
+  pr oc "DIMENSIONS %d %d 1\n" (nr + 1) (nz + 1);
+  pr oc "POINTS %d double\n" ((nr + 1) * (nz + 1));
+  for iz = 0 to nz do
+    for ir = 0 to nr do
+      pr oc "%.9e 0.0 %.9e\n" g.Grid.r_faces.(ir) g.Grid.z_faces.(iz)
+    done
+  done;
+  pr oc "CELL_DATA %d\n" (nr * nz);
+  pr oc "SCALARS temperature_rise double 1\n";
+  pr oc "LOOKUP_TABLE default\n";
+  Array.iter (fun t -> pr oc "%.9e\n" t) res.Solver.temps;
+  pr oc "SCALARS conductivity double 1\n";
+  pr oc "LOOKUP_TABLE default\n";
+  Array.iter (fun k -> pr oc "%.9e\n" k) p.Problem.conductivity
+
+let write res path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel res oc)

@@ -1,0 +1,14 @@
+(** Legacy-VTK export of finite-volume solutions.
+
+    Writes the axisymmetric (r–z) temperature and conductivity fields as a
+    VTK 2.0 structured grid (the r–z plane embedded at y = 0), which
+    ParaView and VisIt open directly — the replacement for COMSOL's
+    built-in post-processing in this reproduction. *)
+
+val to_channel : Solver.result -> out_channel -> unit
+(** [to_channel res oc] writes the dataset: STRUCTURED_GRID points at the
+    cell corners plus CELL_DATA scalars [temperature_rise] (K) and
+    [conductivity] (W/(m·K)). *)
+
+val write : Solver.result -> string -> unit
+(** [write res path] writes (and overwrites) [path]. *)

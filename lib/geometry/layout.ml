@@ -1,0 +1,54 @@
+let square_grid ~side ~rows ~cols =
+  if side <= 0. then invalid_arg "Layout.square_grid: side must be positive";
+  if rows < 1 || cols < 1 then invalid_arg "Layout.square_grid: rows and cols must be positive";
+  List.concat
+    (List.init rows (fun r ->
+         List.init cols (fun c ->
+             ( side *. (float_of_int c +. 0.5) /. float_of_int cols,
+               side *. (float_of_int r +. 0.5) /. float_of_int rows ))))
+
+let hexagonal ~side ~pitch =
+  if side <= 0. then invalid_arg "Layout.hexagonal: side must be positive";
+  if pitch <= 0. then invalid_arg "Layout.hexagonal: pitch must be positive";
+  let margin = pitch /. 2. in
+  let row_spacing = pitch *. sqrt 3. /. 2. in
+  let rec rows y row acc =
+    if y > side -. margin then acc
+    else begin
+      let x0 = margin +. (if row mod 2 = 1 then pitch /. 2. else 0.) in
+      let rec cols x acc = if x > side -. margin then acc else cols (x +. pitch) ((x, y) :: acc) in
+      rows (y +. row_spacing) (row + 1) (cols x0 acc)
+    end
+  in
+  List.rev (rows margin 0 [])
+
+let ring ~side ~count ~radius =
+  if side <= 0. then invalid_arg "Layout.ring: side must be positive";
+  if count < 1 then invalid_arg "Layout.ring: count must be positive";
+  if radius <= 0. || radius >= side /. 2. then
+    invalid_arg "Layout.ring: circle must fit inside the cell";
+  let c = side /. 2. in
+  List.init count (fun i ->
+      let theta = 2. *. Float.pi *. float_of_int i /. float_of_int count in
+      (c +. (radius *. cos theta), c +. (radius *. sin theta)))
+
+let min_pitch centers =
+  let rec pairwise acc = function
+    | [] -> acc
+    | (x1, y1) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (x2, y2) -> Float.min acc (Float.hypot (x1 -. x2) (y1 -. y2)))
+          acc rest
+      in
+      pairwise acc rest
+  in
+  pairwise Float.infinity centers
+
+let fits ~side ~margin centers =
+  List.for_all
+    (fun (x, y) ->
+      x >= margin && x <= side -. margin && y >= margin && y <= side -. margin)
+    centers
+
+let spacing_ok ~min_spacing centers = min_pitch centers >= min_spacing

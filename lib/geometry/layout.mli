@@ -1,0 +1,33 @@
+(** Via-array layouts.
+
+    Generators for the placement patterns TSV arrays use — regular grids,
+    hexagonal packings, rings — together with the spacing checks a
+    design-rule deck would impose.  Coordinates are (x, y) pairs in metres
+    relative to the cell's lower-left corner; the 3-D solver
+    ({!Ttsv_fem.Problem3}) consumes them directly. *)
+
+val square_grid : side:float -> rows:int -> cols:int -> (float * float) list
+(** [square_grid ~side ~rows ~cols] centres a rows × cols array in the
+    [side × side] cell, one via per equal sub-cell (the Fig. 7 cluster
+    layout when rows = cols = √n). *)
+
+val hexagonal : side:float -> pitch:float -> (float * float) list
+(** [hexagonal ~side ~pitch] fills the cell with a triangular-lattice
+    packing of the given pitch (rows offset by pitch/2, row spacing
+    pitch·√3/2), keeping a pitch/2 margin to every edge.  The densest
+    packing for a given minimum spacing. *)
+
+val ring : side:float -> count:int -> radius:float -> (float * float) list
+(** [ring ~side ~count ~radius] places [count] vias evenly on a circle
+    around the cell centre — the guard-ring pattern power TSVs use.
+    Requires the circle to fit in the cell. *)
+
+val min_pitch : (float * float) list -> float
+(** Smallest pairwise centre-to-centre distance ([infinity] for fewer
+    than two vias). *)
+
+val fits : side:float -> margin:float -> (float * float) list -> bool
+(** Whether every centre keeps at least [margin] to every cell edge. *)
+
+val spacing_ok : min_spacing:float -> (float * float) list -> bool
+(** Whether {!min_pitch} is at least [min_spacing] — the DRC check. *)

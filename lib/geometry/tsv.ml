@@ -1,0 +1,41 @@
+type t = {
+  radius : float;
+  liner_thickness : float;
+  extension : float;
+  filler : Ttsv_physics.Material.t;
+  liner : Ttsv_physics.Material.t;
+}
+
+let make ?(filler = Ttsv_physics.Materials.copper) ?(liner = Ttsv_physics.Materials.silicon_dioxide)
+    ?(extension = 0.) ~radius ~liner_thickness () =
+  if radius <= 0. then invalid_arg "Tsv.make: radius must be positive";
+  if liner_thickness <= 0. then invalid_arg "Tsv.make: liner thickness must be positive";
+  if extension < 0. then invalid_arg "Tsv.make: extension must be nonnegative";
+  { radius; liner_thickness; extension; filler; liner }
+
+let outer_radius t = t.radius +. t.liner_thickness
+let fill_area t = Float.pi *. t.radius *. t.radius
+
+let occupied_area t =
+  let ro = outer_radius t in
+  Float.pi *. ro *. ro
+
+let with_radius t radius =
+  if radius <= 0. then invalid_arg "Tsv.with_radius: radius must be positive";
+  { t with radius }
+
+let with_liner_thickness t liner_thickness =
+  if liner_thickness <= 0. then
+    invalid_arg "Tsv.with_liner_thickness: liner thickness must be positive";
+  { t with liner_thickness }
+
+let divide t n =
+  if n < 1 then invalid_arg "Tsv.divide: need n >= 1";
+  { t with radius = t.radius /. sqrt (float_of_int n) }
+
+let aspect_ratio t length = length /. (2. *. t.radius)
+
+let pp ppf t =
+  Format.fprintf ppf "TTSV r=%a, liner %a (%s in %s), l_ext=%a" Ttsv_physics.Units.pp_length_um
+    t.radius Ttsv_physics.Units.pp_length_um t.liner_thickness t.filler.Ttsv_physics.Material.name
+    t.liner.Ttsv_physics.Material.name Ttsv_physics.Units.pp_length_um t.extension

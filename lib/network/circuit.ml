@@ -1,0 +1,185 @@
+module Vec = Ttsv_numerics.Vec
+module Dense = Ttsv_numerics.Dense
+module Sparse = Ttsv_numerics.Sparse
+module Iterative = Ttsv_numerics.Iterative
+
+type node = { cid : int; idx : int } (* idx = -1 for ground *)
+
+type resistor = { a : int; b : int; r : float }
+
+type t = {
+  id : int;
+  mutable names : string list; (* reversed *)
+  mutable n : int;
+  mutable resistors : resistor list;
+  sources : (int, float) Hashtbl.t;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; names = []; n = 0; resistors = []; sources = Hashtbl.create 16 }
+
+let ground c = { cid = c.id; idx = -1 }
+
+let add_node c name =
+  let idx = c.n in
+  c.n <- c.n + 1;
+  c.names <- name :: c.names;
+  { cid = c.id; idx }
+
+let node_count c = c.n
+
+let check_node fn c nd =
+  if nd.cid <> c.id then invalid_arg ("Circuit." ^ fn ^ ": node from another circuit");
+  if nd.idx < -1 || nd.idx >= c.n then invalid_arg ("Circuit." ^ fn ^ ": invalid node")
+
+let node_name c nd =
+  check_node "node_name" c nd;
+  if nd.idx = -1 then "ground" else List.nth c.names (c.n - 1 - nd.idx)
+
+let add_resistor c a b r =
+  check_node "add_resistor" c a;
+  check_node "add_resistor" c b;
+  if a.idx = b.idx then invalid_arg "Circuit.add_resistor: self-loop";
+  if not (Float.is_finite r) || r <= 0. then
+    invalid_arg "Circuit.add_resistor: resistance must be positive and finite";
+  c.resistors <- { a = a.idx; b = b.idx; r } :: c.resistors
+
+let add_heat_source c nd q =
+  check_node "add_heat_source" c nd;
+  if nd.idx >= 0 then begin
+    let prev = Option.value (Hashtbl.find_opt c.sources nd.idx) ~default:0. in
+    Hashtbl.replace c.sources nd.idx (prev +. q)
+  end
+
+let total_injected c = Hashtbl.fold (fun _ q acc -> acc +. q) c.sources 0.
+
+type solution = { circuit : t; temps : float array; matrix : Sparse.t; rhs : float array }
+
+let check_connected c =
+  (* BFS from ground over the resistor graph *)
+  let adj = Array.make c.n [] in
+  let from_ground = ref [] in
+  List.iter
+    (fun { a; b; _ } ->
+      if a = -1 then from_ground := b :: !from_ground
+      else if b = -1 then from_ground := a :: !from_ground
+      else begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    c.resistors;
+  let seen = Array.make c.n false in
+  let rec visit = function
+    | [] -> ()
+    | i :: rest ->
+      if seen.(i) then visit rest
+      else begin
+        seen.(i) <- true;
+        visit (List.rev_append adj.(i) rest)
+      end
+  in
+  visit !from_ground;
+  Array.iteri
+    (fun i ok ->
+      if not ok then
+        invalid_arg
+          (Printf.sprintf "Circuit.solve: node %S has no path to ground"
+             (List.nth c.names (c.n - 1 - i))))
+    seen
+
+let assemble c =
+  let b = Sparse.builder ~hint:(4 * List.length c.resistors) c.n c.n in
+  List.iter
+    (fun { a; b = bb; r } ->
+      let g = 1. /. r in
+      if a >= 0 then Sparse.add b a a g;
+      if bb >= 0 then Sparse.add b bb bb g;
+      if a >= 0 && bb >= 0 then begin
+        Sparse.add b a bb (-.g);
+        Sparse.add b bb a (-.g)
+      end)
+    c.resistors;
+  let rhs = Array.make c.n 0. in
+  Hashtbl.iter (fun i q -> rhs.(i) <- rhs.(i) +. q) c.sources;
+  (Sparse.finalize b, rhs)
+
+let assembled c =
+  check_connected c;
+  assemble c
+
+let node_index c nd =
+  check_node "node_index" c nd;
+  if nd.idx = -1 then invalid_arg "Circuit.node_index: ground node has no row";
+  nd.idx
+
+(* Thevenin resistance between two nodes: inject +1 W at [a], -1 W at [b],
+   read the temperature difference.  Sources are ignored by solving with a
+   unit-injection right-hand side only. *)
+let equivalent_resistance c a b =
+  check_node "equivalent_resistance" c a;
+  check_node "equivalent_resistance" c b;
+  if a.idx = b.idx then 0.
+  else begin
+    check_connected c;
+    let matrix, _ = assemble c in
+    let rhs = Array.make c.n 0. in
+    if a.idx >= 0 then rhs.(a.idx) <- rhs.(a.idx) +. 1.;
+    if b.idx >= 0 then rhs.(b.idx) <- rhs.(b.idx) -. 1.;
+    let temps =
+      if c.n <= 256 then Dense.solve (Sparse.to_dense matrix) rhs
+      else
+        match Iterative.cg ~tol:1e-12 matrix rhs with
+        | { solution; converged = true; _ } -> solution
+        | { converged = false; _ } -> Dense.solve (Sparse.to_dense matrix) rhs
+    in
+    let at i = if i = -1 then 0. else temps.(i) in
+    at a.idx -. at b.idx
+  end
+
+let solve c =
+  if c.n = 0 then
+    { circuit = c; temps = [||]; matrix = Sparse.finalize (Sparse.builder 0 0); rhs = [||] }
+  else begin
+    check_connected c;
+    let matrix, rhs = assemble c in
+    let temps =
+      if c.n <= 256 then Dense.solve (Sparse.to_dense matrix) rhs
+      else
+        match Iterative.cg ~tol:1e-12 matrix rhs with
+        | { solution; converged = true; _ } -> solution
+        | { converged = false; _ } ->
+          (* CG can stagnate on extreme conductance ratios; fall back to LU *)
+          Dense.solve (Sparse.to_dense matrix) rhs
+    in
+    { circuit = c; temps; matrix; rhs }
+  end
+
+let temperature s nd =
+  check_node "temperature" s.circuit nd;
+  if nd.idx = -1 then 0. else s.temps.(nd.idx)
+
+let temperatures s = Array.copy s.temps
+
+let max_temperature s = if Array.length s.temps = 0 then 0. else Vec.max_elt s.temps
+
+let branch_heat_flow s a b =
+  check_node "branch_heat_flow" s.circuit a;
+  check_node "branch_heat_flow" s.circuit b;
+  let temp i = if i = -1 then 0. else s.temps.(i) in
+  List.fold_left
+    (fun acc { a = ra; b = rb; r } ->
+      if ra = a.idx && rb = b.idx then acc +. ((temp ra -. temp rb) /. r)
+      else if ra = b.idx && rb = a.idx then acc -. ((temp ra -. temp rb) /. r)
+      else acc)
+    0. s.circuit.resistors
+
+let residual_norm s =
+  if Array.length s.temps = 0 then 0.
+  else Vec.norm_inf (Vec.sub (Sparse.mat_vec s.matrix s.temps) s.rhs)
+
+let pp ppf c =
+  Format.fprintf ppf "circuit(%d nodes, %d resistors, %.4g W injected)" c.n
+    (List.length c.resistors) (total_injected c)

@@ -1,0 +1,215 @@
+type t = { nrows : int; ncols : int; data : float array }
+
+exception Singular
+
+let create nrows ncols = { nrows; ncols; data = Array.make (nrows * ncols) 0. }
+
+let idx m i j = (i * m.ncols) + j
+
+let get m i j = m.data.(idx m i j)
+let set m i j x = m.data.(idx m i j) <- x
+let add_to m i j x = m.data.(idx m i j) <- m.data.(idx m i j) +. x
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.
+  done;
+  m
+
+let of_arrays a =
+  let nrows = Array.length a in
+  if nrows = 0 then { nrows = 0; ncols = 0; data = [||] }
+  else begin
+    let ncols = Array.length a.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> ncols then invalid_arg "Dense.of_arrays: ragged rows")
+      a;
+    let m = create nrows ncols in
+    for i = 0 to nrows - 1 do
+      for j = 0 to ncols - 1 do
+        set m i j a.(i).(j)
+      done
+    done;
+    m
+  end
+
+let to_arrays m = Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get m i j))
+
+let init nrows ncols f =
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
+
+let mat_vec m x =
+  if Array.length x <> m.ncols then invalid_arg "Dense.mat_vec: dimension mismatch";
+  Array.init m.nrows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.ncols - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let mat_mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Dense.mat_mul: dimension mismatch";
+  let m = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.ncols - 1 do
+          add_to m i j (aik *. get b k j)
+        done
+    done
+  done;
+  m
+
+let scale a m = { m with data = Array.map (fun x -> a *. x) m.data }
+
+let elementwise name f a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then
+    invalid_arg ("Dense." ^ name ^ ": dimension mismatch");
+  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+
+let add a b = elementwise "add" ( +. ) a b
+let sub a b = elementwise "sub" ( -. ) a b
+
+type lu = { lu : t; perm : int array; sign : float }
+
+(* Crout-style LU with partial pivoting; the factored matrix stores L (unit
+   diagonal, below) and U (on and above the diagonal) in place. *)
+let lu_factor m0 =
+  if m0.nrows <> m0.ncols then invalid_arg "Dense.lu_factor: matrix not square";
+  let n = m0.nrows in
+  let a = copy m0 in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* find pivot *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get a i k) > Float.abs (get a !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get a k j in
+        set a k j (get a !p j);
+        set a !p j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!p);
+      perm.(!p) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = get a k k in
+    if Float.abs pivot < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = get a i k /. pivot in
+      set a i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          add_to a i j (-.factor *. get a k j)
+        done
+    done
+  done;
+  { lu = a; perm; sign = !sign }
+
+let lu_solve { lu = a; perm; sign = _ } b =
+  let n = a.nrows in
+  if Array.length b <> n then invalid_arg "Dense.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution, L has unit diagonal *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get a i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get a i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get a i i
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let solve_many a bs =
+  let f = lu_factor a in
+  List.map (lu_solve f) bs
+
+let det m =
+  match lu_factor m with
+  | exception Singular -> 0.
+  | { lu = a; sign; _ } ->
+    let acc = ref sign in
+    for i = 0 to a.nrows - 1 do
+      acc := !acc *. get a i i
+    done;
+    !acc
+
+let inverse m =
+  let n = m.nrows in
+  let f = lu_factor m in
+  let inv = create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0. in
+    e.(j) <- 1.;
+    let col = lu_solve f e in
+    for i = 0 to n - 1 do
+      set inv i j col.(i)
+    done
+  done;
+  inv
+
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. b.data.(i)) > atol +. (rtol *. Float.abs b.data.(i)) then ok := false)
+    a.data;
+  !ok
+
+let is_symmetric ?(tol = 1e-10) m =
+  m.nrows = m.ncols
+  &&
+  let scale = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. m.data in
+  let bound = tol *. Float.max scale 1. in
+  let ok = ref true in
+  for i = 0 to m.nrows - 1 do
+    for j = i + 1 to m.ncols - 1 do
+      if Float.abs (get m i j -. get m j i) > bound then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "[@[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%.6g" (get m i j)
+    done;
+    Format.fprintf ppf "@]]";
+    if i < m.nrows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

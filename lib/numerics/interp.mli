@@ -1,0 +1,31 @@
+(** Piecewise interpolation over tabulated data.
+
+    Used for temperature-dependent material properties and for reading
+    values off computed sweep curves (e.g. finding the crossover thickness
+    in the Fig. 6 reproduction). *)
+
+type t
+(** A piecewise-linear interpolant over strictly increasing abscissae. *)
+
+val create : xs:float array -> ys:float array -> t
+(** [create ~xs ~ys] builds an interpolant.  Raises [Invalid_argument] when
+    lengths differ, fewer than two points are given, or [xs] is not
+    strictly increasing. *)
+
+val of_points : (float * float) list -> t
+(** [of_points pts] sorts the points by abscissa and builds the
+    interpolant.  Duplicate abscissae raise [Invalid_argument]. *)
+
+val eval : t -> float -> float
+(** [eval t x] evaluates with constant extrapolation outside the table. *)
+
+val eval_extrapolate : t -> float -> float
+(** [eval_extrapolate t x] evaluates with linear extrapolation from the
+    terminal segments. *)
+
+val domain : t -> float * float
+(** [domain t] is [(min_x, max_x)]. *)
+
+val derivative : t -> float -> float
+(** [derivative t x] is the slope of the segment containing [x] (the right
+    segment at knots; terminal slopes outside the domain). *)

@@ -1,0 +1,167 @@
+type result = { solution : Vec.t; iterations : int; residual : float; converged : bool }
+
+exception Not_converged of result
+
+let norm_b_floor b = Float.max (Vec.norm2 b) 1e-300
+
+let default_max_iter n max_iter =
+  match max_iter with Some m -> m | None -> Stdlib.max 100 (10 * n)
+
+(* Jacobi-preconditioned conjugate gradients. *)
+let cg ?(tol = 1e-10) ?max_iter ?x0 a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Iterative.cg: matrix not square";
+  if Array.length b <> n then invalid_arg "Iterative.cg: rhs dimension mismatch";
+  let max_iter = default_max_iter n max_iter in
+  let d = Sparse.diagonal a in
+  let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let r = Vec.sub b (Sparse.mat_vec a x) in
+  let z = Vec.map2 ( *. ) precond r in
+  let p = Vec.copy z in
+  let nb = norm_b_floor b in
+  let rz = ref (Vec.dot r z) in
+  let res = ref (Vec.norm2 r /. nb) in
+  let iter = ref 0 in
+  let continue_ = ref (!res > tol) in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    let ap = Sparse.mat_vec a p in
+    let pap = Vec.dot p ap in
+    if Float.abs pap < 1e-300 then continue_ := false
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) ap r;
+      res := Vec.norm2 r /. nb;
+      if !res <= tol then continue_ := false
+      else begin
+        let z' = Vec.map2 ( *. ) precond r in
+        let rz' = Vec.dot r z' in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z'.(i) +. (beta *. p.(i))
+        done
+      end
+    end
+  done;
+  { solution = x; iterations = !iter; residual = !res; converged = !res <= tol }
+
+let cg_exn ?tol ?max_iter ?x0 a b =
+  let r = cg ?tol ?max_iter ?x0 a b in
+  if r.converged then r.solution else raise (Not_converged r)
+
+(* Jacobi-preconditioned BiCGStab (van der Vorst). *)
+let bicgstab ?(tol = 1e-10) ?max_iter ?x0 a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Iterative.bicgstab: matrix not square";
+  if Array.length b <> n then invalid_arg "Iterative.bicgstab: rhs dimension mismatch";
+  let max_iter = default_max_iter n max_iter in
+  let d = Sparse.diagonal a in
+  let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
+  let apply_m v = Vec.map2 ( *. ) precond v in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let r = Vec.sub b (Sparse.mat_vec a x) in
+  let r_hat = Vec.copy r in
+  let nb = norm_b_floor b in
+  let rho = ref 1. and alpha = ref 1. and omega = ref 1. in
+  let v = Vec.zeros n and p = Vec.zeros n in
+  let res = ref (Vec.norm2 r /. nb) in
+  let iter = ref 0 in
+  let continue_ = ref (!res > tol) in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    let rho' = Vec.dot r_hat r in
+    if Float.abs rho' < 1e-300 then continue_ := false
+    else begin
+      let beta = rho' /. !rho *. (!alpha /. !omega) in
+      rho := rho';
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+      done;
+      let p_hat = apply_m p in
+      let v' = Sparse.mat_vec a p_hat in
+      Array.blit v' 0 v 0 n;
+      let denom = Vec.dot r_hat v in
+      if Float.abs denom < 1e-300 then continue_ := false
+      else begin
+        alpha := rho' /. denom;
+        let s = Vec.copy r in
+        Vec.axpy (-. !alpha) v s;
+        if Vec.norm2 s /. nb <= tol then begin
+          Vec.axpy !alpha p_hat x;
+          res := Vec.norm2 s /. nb;
+          continue_ := false
+        end
+        else begin
+          let s_hat = apply_m s in
+          let t = Sparse.mat_vec a s_hat in
+          let tt = Vec.dot t t in
+          if Float.abs tt < 1e-300 then continue_ := false
+          else begin
+            omega := Vec.dot t s /. tt;
+            Vec.axpy !alpha p_hat x;
+            Vec.axpy !omega s_hat x;
+            let r' = Vec.copy s in
+            Vec.axpy (-. !omega) t r';
+            Array.blit r' 0 r 0 n;
+            res := Vec.norm2 r /. nb;
+            if !res <= tol then continue_ := false
+          end
+        end
+      end
+    end
+  done;
+  (* recompute true residual for the report *)
+  let true_res = Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb in
+  { solution = x; iterations = !iter; residual = true_res; converged = true_res <= tol }
+
+let stationary name ?(tol = 1e-10) ?max_iter update a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg ("Iterative." ^ name ^ ": matrix not square");
+  if Array.length b <> n then invalid_arg ("Iterative." ^ name ^ ": rhs dimension mismatch");
+  let max_iter = default_max_iter n max_iter in
+  let d = Sparse.diagonal a in
+  Array.iter
+    (fun di -> if Float.abs di < 1e-300 then invalid_arg ("Iterative." ^ name ^ ": zero diagonal"))
+    d;
+  let x = Vec.zeros n in
+  let nb = norm_b_floor b in
+  let res = ref (Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb) in
+  let iter = ref 0 in
+  while !res > tol && !iter < max_iter do
+    incr iter;
+    update a b d x;
+    res := Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb
+  done;
+  { solution = x; iterations = !iter; residual = !res; converged = !res <= tol }
+
+let jacobi ?tol ?max_iter a b =
+  let update a b d x =
+    let ax = Sparse.mat_vec a x in
+    for i = 0 to Array.length x - 1 do
+      x.(i) <- x.(i) +. ((b.(i) -. ax.(i)) /. d.(i))
+    done
+  in
+  stationary "jacobi" ?tol ?max_iter update a b
+
+(* A Gauss-Seidel / SOR sweep needs row access; recompute the residual of row
+   i against the *current* x, which mixes old and new values as required. *)
+let sweep omega a b d x =
+  let n = Array.length x in
+  for i = 0 to n - 1 do
+    (* row residual with current values *)
+    let acc = ref b.(i) in
+    for j = 0 to n - 1 do
+      let v = Sparse.get a i j in
+      if v <> 0. then acc := !acc -. (v *. x.(j))
+    done;
+    x.(i) <- x.(i) +. (omega *. !acc /. d.(i))
+  done
+
+let gauss_seidel ?tol ?max_iter a b = stationary "gauss_seidel" ?tol ?max_iter (sweep 1.) a b
+
+let sor ?tol ?max_iter ~omega a b =
+  if omega <= 0. || omega >= 2. then invalid_arg "Iterative.sor: omega must be in (0, 2)";
+  stationary "sor" ?tol ?max_iter (sweep omega) a b

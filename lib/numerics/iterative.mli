@@ -1,0 +1,39 @@
+(** Iterative solvers for sparse linear systems.
+
+    The finite-volume heat solver produces large symmetric positive-definite
+    conductance matrices; {!cg} (Jacobi-preconditioned conjugate gradients)
+    is the work-horse.  {!bicgstab} handles the occasional nonsymmetric
+    system, and the stationary methods ({!jacobi}, {!gauss_seidel}, {!sor})
+    exist mainly as slow-but-simple cross-checks in the test suite. *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;  (** iterations actually performed *)
+  residual : float;  (** final 2-norm of [b - A x], relative to [||b||] *)
+  converged : bool;  (** whether [residual <= tol] was reached *)
+}
+
+exception Not_converged of result
+(** Raised by the [_exn] variants when the iteration budget is exhausted. *)
+
+val cg : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
+(** [cg a b] solves [a x = b] for symmetric positive-definite [a] with
+    Jacobi (diagonal) preconditioning.  [tol] is the relative residual
+    target (default [1e-10]); [max_iter] defaults to [10 * n];
+    [x0] defaults to the zero vector. *)
+
+val cg_exn : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
+(** Like {!cg} but returns the solution directly and raises
+    {!Not_converged} on failure. *)
+
+val bicgstab : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
+(** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning. *)
+
+val jacobi : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
+(** Pointwise Jacobi iteration; requires a nonzero diagonal. *)
+
+val gauss_seidel : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
+(** Forward Gauss–Seidel sweep iteration. *)
+
+val sor : ?tol:float -> ?max_iter:int -> omega:float -> Sparse.t -> Vec.t -> result
+(** Successive over-relaxation with relaxation factor [omega] in (0, 2). *)

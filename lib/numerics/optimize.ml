@@ -1,0 +1,204 @@
+type minimum = { xmin : Vec.t; fmin : float; iterations : int; converged : bool }
+
+let nelder_mead ?(tol = 1e-10) ?(max_iter = 2000) ?step f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Optimize.nelder_mead: empty starting point";
+  let step_for i = match step with Some s -> s | None -> 0.1 *. (1. +. Float.abs x0.(i)) in
+  (* simplex of n+1 vertices with their values, kept sorted best-first *)
+  let vertices =
+    Array.init (n + 1) (fun k ->
+        let x = Vec.copy x0 in
+        if k > 0 then x.(k - 1) <- x.(k - 1) +. step_for (k - 1);
+        (x, f x))
+  in
+  let sort () = Array.sort (fun (_, fa) (_, fb) -> compare fa fb) vertices in
+  sort ();
+  let centroid_excl_worst () =
+    let c = Vec.zeros n in
+    for k = 0 to n - 1 do
+      let x, _ = vertices.(k) in
+      Vec.axpy 1. x c
+    done;
+    Vec.scale_in_place (1. /. float_of_int n) c;
+    c
+  in
+  let combine c x alpha = Vec.init n (fun i -> c.(i) +. (alpha *. (c.(i) -. x.(i)))) in
+  let iter = ref 0 in
+  (* converged when BOTH the function values and the vertex positions have
+     collapsed: a function-only criterion stalls when the simplex straddles
+     the minimum with equal values (e.g. symmetric 1-d quadratics) *)
+  let spread () =
+    let _, fbest = vertices.(0) and _, fworst = vertices.(n) in
+    Float.abs (fworst -. fbest)
+  in
+  let diameter () =
+    let xb, _ = vertices.(0) in
+    let d = ref 0. in
+    for k = 1 to n do
+      let x, _ = vertices.(k) in
+      for i = 0 to n - 1 do
+        d := Float.max !d (Float.abs (x.(i) -. xb.(i)))
+      done
+    done;
+    !d
+  in
+  let scale () =
+    let xb, _ = vertices.(0) in
+    1. +. Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. xb
+  in
+  let converged () = spread () <= tol && diameter () <= sqrt tol *. scale () in
+  while (not (converged ())) && !iter < max_iter do
+    incr iter;
+    let c = centroid_excl_worst () in
+    let xw, fw = vertices.(n) in
+    let _, fbest = vertices.(0) in
+    let _, fsecond = vertices.(n - 1) in
+    let xr = combine c xw 1. in
+    let fr = f xr in
+    if fr < fbest then begin
+      (* try expansion *)
+      let xe = combine c xw 2. in
+      let fe = f xe in
+      if fe < fr then vertices.(n) <- (xe, fe) else vertices.(n) <- (xr, fr)
+    end
+    else if fr < fsecond then vertices.(n) <- (xr, fr)
+    else begin
+      (* contraction: outside if reflected better than worst, else inside *)
+      let xc, fc =
+        if fr < fw then
+          let x = combine c xw 0.5 in
+          (x, f x)
+        else
+          let x = combine c xw (-0.5) in
+          (x, f x)
+      in
+      if fc < Float.min fr fw then vertices.(n) <- (xc, fc)
+      else begin
+        (* shrink toward best *)
+        let xb, _ = vertices.(0) in
+        for k = 1 to n do
+          let x, _ = vertices.(k) in
+          let x' = Vec.init n (fun i -> xb.(i) +. (0.5 *. (x.(i) -. xb.(i)))) in
+          vertices.(k) <- (x', f x')
+        done
+      end
+    end;
+    sort ()
+  done;
+  let xbest, fbest = vertices.(0) in
+  { xmin = xbest; fmin = fbest; iterations = !iter; converged = converged () }
+
+let phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tol = 1e-9) ?(max_iter = 500) f a b =
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol && !iter < max_iter do
+    incr iter;
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let xm = 0.5 *. (!a +. !b) in
+  { xmin = [| xm |]; fmin = f xm; iterations = !iter; converged = !b -. !a <= tol }
+
+let check_bracket name fa fb =
+  if fa *. fb > 0. then invalid_arg ("Optimize." ^ name ^ ": interval does not bracket a root")
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  check_bracket "bisect" fa fb;
+  let a = ref a and b = ref b and fa = ref fa in
+  let iter = ref 0 in
+  while !b -. !a > tol && !iter < max_iter do
+    incr iter;
+    let m = 0.5 *. (!a +. !b) in
+    let fm = f m in
+    if !fa *. fm <= 0. then b := m
+    else begin
+      a := m;
+      fa := fm
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+(* Brent's method, following the classic Numerical Recipes formulation. *)
+let brent_root ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  check_bracket "brent_root" fa fb;
+  let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+  let c = ref !a and fc = ref !fa in
+  let d = ref (!b -. !a) and e = ref (!b -. !a) in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    if Float.abs !fc < Float.abs !fb then begin
+      a := !b;
+      b := !c;
+      c := !a;
+      fa := !fb;
+      fb := !fc;
+      fc := !fa
+    end;
+    let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+    let xm = 0.5 *. (!c -. !b) in
+    if Float.abs xm <= tol1 || !fb = 0. then result := Some !b
+    else begin
+      if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+        (* attempt inverse quadratic interpolation / secant *)
+        let s = !fb /. !fa in
+        let p, q =
+          if !a = !c then
+            let p = 2. *. xm *. s in
+            (p, 1. -. s)
+          else begin
+            let q = !fa /. !fc and r = !fb /. !fc in
+            let p = s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))) in
+            (p, (q -. 1.) *. (r -. 1.) *. (s -. 1.))
+          end
+        in
+        let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+        let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+        let min2 = Float.abs (!e *. q) in
+        if 2. *. p < Float.min min1 min2 then begin
+          e := !d;
+          d := p /. q
+        end
+        else begin
+          d := xm;
+          e := xm
+        end
+      end
+      else begin
+        d := xm;
+        e := xm
+      end;
+      a := !b;
+      fa := !fb;
+      if Float.abs !d > tol1 then b := !b +. !d
+      else b := !b +. (if xm > 0. then tol1 else -.tol1);
+      fb := f !b;
+      if (!fb > 0. && !fc > 0.) || (!fb < 0. && !fc < 0.) then begin
+        c := !a;
+        fc := !fa;
+        d := !b -. !a;
+        e := !d
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> !b

@@ -1,0 +1,43 @@
+let check_interval name a b =
+  if not (Float.is_finite a && Float.is_finite b) then
+    invalid_arg ("Quadrature." ^ name ^ ": bounds must be finite")
+
+let simpson ?(intervals = 128) f a b =
+  check_interval "simpson" a b;
+  if intervals < 2 then invalid_arg "Quadrature.simpson: need at least 2 intervals";
+  let n = if intervals mod 2 = 0 then intervals else intervals + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let x = a +. (h *. float_of_int i) in
+    acc := !acc +. (if i mod 2 = 1 then 4. else 2.) *. f x
+  done;
+  !acc *. h /. 3.
+
+let simpson_3 f a b =
+  let m = 0.5 *. (a +. b) in
+  (b -. a) /. 6. *. (f a +. (4. *. f m) +. f b)
+
+let adaptive ?(tol = 1e-12) ?(max_depth = 40) f a b =
+  check_interval "adaptive" a b;
+  let rec refine a b whole depth tol =
+    let m = 0.5 *. (a +. b) in
+    let left = simpson_3 f a m and right = simpson_3 f m b in
+    let delta = left +. right -. whole in
+    if Float.abs delta <= 15. *. tol || depth >= max_depth then
+      left +. right +. (delta /. 15.)
+    else
+      refine a m left (depth + 1) (tol /. 2.) +. refine m b right (depth + 1) (tol /. 2.)
+  in
+  let whole = simpson_3 f a b in
+  refine a b whole 0 (tol *. Float.max 1. (Float.abs whole))
+
+let trapezoid ?(intervals = 256) f a b =
+  check_interval "trapezoid" a b;
+  if intervals < 1 then invalid_arg "Quadrature.trapezoid: need at least 1 interval";
+  let h = (b -. a) /. float_of_int intervals in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to intervals - 1 do
+    acc := !acc +. f (a +. (h *. float_of_int i))
+  done;
+  !acc *. h

@@ -1,0 +1,22 @@
+(** Numerical integration.
+
+    Used by the test suite to validate closed forms against their defining
+    integrals — e.g. the paper's eq. 9 liner resistance, stated as an
+    integral and evaluated analytically in {!Ttsv_core.Resistances} — and
+    available for material laws with no antiderivative. *)
+
+val simpson : ?intervals:int -> (float -> float) -> float -> float -> float
+(** [simpson f a b] is the composite Simpson rule with [intervals]
+    (default 128, forced even) subdivisions.  Exact for cubics. *)
+
+val adaptive :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+(** [adaptive f a b] is adaptive Simpson quadrature with local error
+    control ([tol] defaults to 1e-12 of the running estimate,
+    [max_depth] to 40 bisection levels; subintervals that cannot meet
+    the tolerance contribute their best estimate). *)
+
+val trapezoid : ?intervals:int -> (float -> float) -> float -> float -> float
+(** Composite trapezoid rule (default 256 subdivisions) — the
+    second-order baseline the tests compare convergence orders
+    against. *)

@@ -1,0 +1,24 @@
+let two_point ~order ~h_coarse ~v_coarse ~h_fine ~v_fine =
+  if not (h_coarse > h_fine && h_fine > 0.) then
+    invalid_arg "Richardson.two_point: need h_coarse > h_fine > 0";
+  if order <= 0. then invalid_arg "Richardson.two_point: order must be positive";
+  let ratio = (h_coarse /. h_fine) ** order in
+  v_fine +. ((v_fine -. v_coarse) /. (ratio -. 1.))
+
+let observed_order ~h1 ~v1 ~h2 ~v2 ~h3 ~v3 =
+  if not (h1 > h2 && h2 > h3 && h3 > 0.) then
+    invalid_arg "Richardson.observed_order: need h1 > h2 > h3 > 0";
+  let r12 = h1 /. h2 and r23 = h2 /. h3 in
+  if Float.abs (r12 -. r23) > 0.01 *. r12 then
+    invalid_arg "Richardson.observed_order: mesh family must be geometric";
+  let d12 = v1 -. v2 and d23 = v2 -. v3 in
+  if d12 *. d23 <= 0. then
+    invalid_arg "Richardson.observed_order: differences not monotone (pre-asymptotic data)";
+  log (Float.abs (d12 /. d23)) /. log r12
+
+let extrapolate_sequence ~order pairs =
+  let sorted = List.sort (fun (h1, _) (h2, _) -> compare h2 h1) pairs in
+  match List.rev sorted with
+  | (h_fine, v_fine) :: (h_coarse, v_coarse) :: _ ->
+    two_point ~order ~h_coarse ~v_coarse ~h_fine ~v_fine
+  | _ -> invalid_arg "Richardson.extrapolate_sequence: need at least two pairs"

@@ -1,0 +1,22 @@
+(** Richardson extrapolation for mesh-convergence studies.
+
+    Given solutions computed at decreasing mesh sizes h with an error of
+    the form C·hᵖ, these helpers estimate the converged value and the
+    observed order — used by the convergence experiment to certify the
+    finite-volume reference. *)
+
+val two_point : order:float -> h_coarse:float -> v_coarse:float -> h_fine:float -> v_fine:float -> float
+(** [two_point ~order ~h_coarse ~v_coarse ~h_fine ~v_fine] is the
+    extrapolated limit v* = v_f + (v_f − v_c)/((h_c/h_f)^order − 1).
+    Requires [h_coarse > h_fine > 0] ([Invalid_argument] otherwise). *)
+
+val observed_order : h1:float -> v1:float -> h2:float -> v2:float -> h3:float -> v3:float -> float
+(** [observed_order] estimates p from three values on a geometric mesh
+    family: p = ln((v1 − v2)/(v2 − v3)) / ln(h1/h2).  Requires
+    [h1 > h2 > h3 > 0] with [h1/h2 = h2/h3] (within 1 %), and monotone
+    differences (raises [Invalid_argument] when the sequence has not
+    entered its asymptotic regime). *)
+
+val extrapolate_sequence : order:float -> (float * float) list -> float
+(** [extrapolate_sequence ~order pairs] applies {!two_point} to the two
+    finest of the given (h, value) pairs.  Needs at least two pairs. *)

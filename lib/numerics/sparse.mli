@@ -1,0 +1,53 @@
+(** Sparse matrices in compressed-sparse-row (CSR) form.
+
+    Assembly happens through a mutable {!builder} of (row, col, value)
+    triplets — duplicate entries are summed, which matches the stamping
+    discipline of finite-volume and network assembly — and is then frozen
+    into an immutable CSR matrix for fast products. *)
+
+type t
+(** An immutable CSR matrix. *)
+
+type builder
+(** A mutable triplet accumulator. *)
+
+val builder : ?hint:int -> int -> int -> builder
+(** [builder ?hint rows cols] creates an empty accumulator; [hint] is the
+    expected number of nonzeros. *)
+
+val add : builder -> int -> int -> float -> unit
+(** [add b i j x] accumulates [x] into entry [(i, j)].  Raises
+    [Invalid_argument] when the indices are out of range. *)
+
+val finalize : builder -> t
+(** [finalize b] sums duplicates and freezes the matrix.  Entries that sum
+    to exactly [0.] are kept (structural nonzeros), which keeps symbolic
+    structure stable across parameter sweeps. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [mat_vec m x] is the product [m * x]. *)
+
+val diagonal : t -> Vec.t
+(** [diagonal m] extracts the main diagonal (zeros where absent). *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the stored value at [(i, j)], or [0.] if absent.
+    O(row nnz). *)
+
+val to_dense : t -> Dense.t
+(** Expands to dense form (testing/debugging only). *)
+
+val of_dense : ?drop_tol:float -> Dense.t -> t
+(** [of_dense ?drop_tol m] converts, dropping entries with absolute value
+    [<= drop_tol] (default [0.], i.e. keep all nonzeros). *)
+
+val is_symmetric : ?tol:float -> t -> bool
+(** Structural + numeric symmetry check used by the CG preconditions. *)
+
+val transpose : t -> t

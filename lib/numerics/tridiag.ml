@@ -1,0 +1,52 @@
+type t = { lower : float array; diag : float array; upper : float array }
+
+let create ~lower ~diag ~upper =
+  let n = Array.length diag in
+  if Array.length lower <> n - 1 || Array.length upper <> n - 1 then
+    invalid_arg "Tridiag.create: off-diagonals must have length n-1";
+  { lower; diag; upper }
+
+let order t = Array.length t.diag
+
+(* Thomas algorithm: forward elimination then back substitution on copies. *)
+let solve t b =
+  let n = order t in
+  if Array.length b <> n then invalid_arg "Tridiag.solve: dimension mismatch";
+  if n = 0 then [||]
+  else begin
+    let c' = Array.make (Stdlib.max (n - 1) 0) 0. in
+    let d' = Array.make n 0. in
+    let pivot0 = t.diag.(0) in
+    if Float.abs pivot0 < 1e-300 then raise Dense.Singular;
+    if n > 1 then c'.(0) <- t.upper.(0) /. pivot0;
+    d'.(0) <- b.(0) /. pivot0;
+    for i = 1 to n - 1 do
+      let denom = t.diag.(i) -. (t.lower.(i - 1) *. c'.(i - 1)) in
+      if Float.abs denom < 1e-300 then raise Dense.Singular;
+      if i < n - 1 then c'.(i) <- t.upper.(i) /. denom;
+      d'.(i) <- (b.(i) -. (t.lower.(i - 1) *. d'.(i - 1))) /. denom
+    done;
+    let x = Array.make n 0. in
+    x.(n - 1) <- d'.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+    done;
+    x
+  end
+
+let mat_vec t x =
+  let n = order t in
+  if Array.length x <> n then invalid_arg "Tridiag.mat_vec: dimension mismatch";
+  Array.init n (fun i ->
+      let acc = ref (t.diag.(i) *. x.(i)) in
+      if i > 0 then acc := !acc +. (t.lower.(i - 1) *. x.(i - 1));
+      if i < n - 1 then acc := !acc +. (t.upper.(i) *. x.(i + 1));
+      !acc)
+
+let to_dense t =
+  let n = order t in
+  Dense.init n n (fun i j ->
+      if i = j then t.diag.(i)
+      else if i = j + 1 then t.lower.(j)
+      else if j = i + 1 then t.upper.(i)
+      else 0.)

@@ -1,0 +1,33 @@
+(** Tridiagonal linear systems (Thomas algorithm).
+
+    Ladder-style thermal networks such as the paper's Model B reduce, in
+    their decoupled-column form, to tridiagonal systems; the finite-volume
+    solver also uses this module for 1-D slab reference solutions.
+
+    A system of order [n] is represented by its three diagonals:
+    [lower] (length [n-1], entry [i] sits on row [i+1]),
+    [diag]  (length [n]), and
+    [upper] (length [n-1], entry [i] sits on row [i]). *)
+
+type t = { lower : float array; diag : float array; upper : float array }
+
+val create : lower:float array -> diag:float array -> upper:float array -> t
+(** [create ~lower ~diag ~upper] validates lengths and packs the system.
+    Raises [Invalid_argument] if [lower] and [upper] are not one shorter
+    than [diag]. *)
+
+val order : t -> int
+(** Number of unknowns. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve sys b] solves the tridiagonal system by the Thomas algorithm
+    (no pivoting; raises {!Dense.Singular} if a pivot underflows).  The
+    algorithm is stable for the diagonally dominant matrices produced by
+    conductance stamping. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [mat_vec sys x] multiplies the tridiagonal matrix by [x]; used by the
+    tests to verify residuals. *)
+
+val to_dense : t -> Dense.t
+(** Expands to a dense matrix (testing/debugging). *)

@@ -1,0 +1,118 @@
+type t = float array
+
+let create n x = Array.make n x
+let zeros n = create n 0.
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let get (v : t) i = v.(i)
+let set (v : t) i x = v.(i) <- x
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length x) (Array.length y))
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let norm1 x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. Float.abs x.(i)
+  done;
+  !acc
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.mapi (fun i xi -> xi +. y.(i)) x
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let scale_in_place a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let map = Array.map
+
+let map2 f x y =
+  check_same_dim "map2" x y;
+  Array.mapi (fun i xi -> f xi y.(i)) x
+
+let sum x =
+  let acc = ref 0. in
+  Array.iter (fun xi -> acc := !acc +. xi) x;
+  !acc
+
+let nonempty name x =
+  if Array.length x = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector")
+
+let max_elt x =
+  nonempty "max_elt" x;
+  Array.fold_left Float.max x.(0) x
+
+let min_elt x =
+  nonempty "min_elt" x;
+  Array.fold_left Float.min x.(0) x
+
+let argmax x =
+  nonempty "argmax" x;
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if x.(i) > x.(!best) then best := i
+  done;
+  !best
+
+let mean x =
+  nonempty "mean" x;
+  sum x /. float_of_int (Array.length x)
+
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if Float.abs (x.(i) -. y.(i)) > atol +. (rtol *. Float.abs y.(i)) then ok := false
+  done;
+  !ok
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: need n >= 2";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  init n (fun i -> a +. (h *. float_of_int i))
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "@]]"

@@ -1,0 +1,29 @@
+let validate name phases =
+  if phases = [] then invalid_arg ("Mixing." ^ name ^ ": no phases");
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. phases in
+  List.iter
+    (fun (k, f) ->
+      if k <= 0. then invalid_arg ("Mixing." ^ name ^ ": conductivity must be positive");
+      if f < 0. then invalid_arg ("Mixing." ^ name ^ ": negative fraction"))
+    phases;
+  if Float.abs (total -. 1.) > 1e-9 then
+    invalid_arg ("Mixing." ^ name ^ ": fractions must sum to 1")
+
+let parallel phases =
+  validate "parallel" phases;
+  List.fold_left (fun acc (k, f) -> acc +. (k *. f)) 0. phases
+
+let series phases =
+  validate "series" phases;
+  1. /. List.fold_left (fun acc (k, f) -> acc +. (f /. k)) 0. phases
+
+let maxwell_garnett ~k_matrix ~k_inclusion ~fraction =
+  if k_matrix <= 0. || k_inclusion <= 0. then
+    invalid_arg "Mixing.maxwell_garnett: conductivities must be positive";
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Mixing.maxwell_garnett: fraction out of [0, 1]";
+  let beta = (k_inclusion -. k_matrix) /. (k_inclusion +. (2. *. k_matrix)) in
+  k_matrix *. (1. +. (3. *. fraction *. beta) /. (1. -. (fraction *. beta)))
+
+let ild_with_metal ~k_dielectric ~k_metal ~metal_fraction =
+  parallel [ (k_dielectric, 1. -. metal_fraction); (k_metal, metal_fraction) ]

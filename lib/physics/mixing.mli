@@ -1,0 +1,29 @@
+(** Effective-medium conductivity mixing.
+
+    §IV of the paper notes that "since metal interconnects are embedded in
+    the ILD, k_D can be adapted to include the effect of the metal within
+    the ILD layer".  These rules compute such effective conductivities
+    from volume fractions. *)
+
+val parallel : (float * float) list -> float
+(** [parallel [(k1, f1); ...]] is the volume-fraction-weighted arithmetic
+    mean Σ f_i·k_i — the exact effective conductivity when the phases
+    form slabs parallel to the heat flow (upper Wiener bound).  Fractions
+    must be nonnegative and sum to 1 within 1e-9
+    ([Invalid_argument] otherwise). *)
+
+val series : (float * float) list -> float
+(** [series [(k1, f1); ...]] is the harmonic mean (Σ f_i/k_i)⁻¹ — exact
+    for slabs perpendicular to the flow (lower Wiener bound). *)
+
+val maxwell_garnett : k_matrix:float -> k_inclusion:float -> fraction:float -> float
+(** [maxwell_garnett ~k_matrix ~k_inclusion ~fraction] is the
+    Maxwell–Garnett effective conductivity for dilute spherical inclusions
+    of volume fraction [fraction] in a host matrix; the customary model
+    for via/wire-loaded dielectrics at low metal density. *)
+
+val ild_with_metal : k_dielectric:float -> k_metal:float -> metal_fraction:float -> float
+(** [ild_with_metal ~k_dielectric ~k_metal ~metal_fraction] is the
+    effective vertical ILD conductivity with vertically threaded metal:
+    the parallel rule on two phases, the library's recommended adaptation
+    of k_D per the paper's remark. *)

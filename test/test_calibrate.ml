@@ -1,0 +1,55 @@
+(* Tests for the k1/k2 calibration. *)
+
+module Params = Ttsv_core.Params
+module Units = Ttsv_physics.Units
+module Model_a = Ttsv_core.Model_a
+module Calibrate = Ttsv_core.Calibrate
+module Coefficients = Ttsv_core.Coefficients
+open Helpers
+
+(* synthetic references produced by Model A itself with known coefficients:
+   the fit must recover them *)
+let synthetic coeffs =
+  List.map
+    (fun tl ->
+      let stack = Params.fig5_stack (Units.um tl) in
+      { Calibrate.stack; reference = Model_a.max_rise (Model_a.solve ~coeffs stack) })
+    [ 0.5; 1.5; 3. ]
+
+let unit_tests =
+  [
+    test "recovers known coefficients from synthetic references" (fun () ->
+        let truth = Coefficients.make ~k1:1.2 ~k2:0.7 in
+        let fit = Calibrate.fit (synthetic truth) in
+        close_rel ~tol:0.02 "k1" 1.2 fit.Calibrate.coefficients.Coefficients.k1;
+        close_rel ~tol:0.05 "k2" 0.7 fit.Calibrate.coefficients.Coefficients.k2;
+        Alcotest.(check bool) "rms tiny" true (fit.Calibrate.rms_rel_error < 1e-4));
+    test "objective at the truth is (near) zero" (fun () ->
+        let truth = Coefficients.make ~k1:1.4 ~k2:0.6 in
+        close ~tol:1e-12 "objective" 0. (Calibrate.objective truth (synthetic truth)));
+    test "fit improves on the initial guess" (fun () ->
+        let truth = Coefficients.make ~k1:1.5 ~k2:0.5 in
+        let samples = synthetic truth in
+        let initial = Coefficients.unity in
+        let fit = Calibrate.fit ~initial samples in
+        Alcotest.(check bool) "improved" true
+          (Calibrate.objective fit.Calibrate.coefficients samples
+          < Calibrate.objective initial samples));
+    test "empty samples rejected" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (Calibrate.fit [])));
+    test "nonpositive reference rejected" (fun () ->
+        check_raises_invalid "reference" (fun () ->
+            ignore (Calibrate.fit [ { Calibrate.stack = Params.block (); reference = 0. } ])));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:8 "recovery across random truths"
+      QCheck2.Gen.(pair (float_range 0.8 2.) (float_range 0.3 1.5))
+      (fun (k1, k2) ->
+        let truth = Coefficients.make ~k1 ~k2 in
+        let fit = Calibrate.fit (synthetic truth) in
+        fit.Calibrate.rms_rel_error < 1e-3);
+  ]
+
+let suite = ("calibrate", unit_tests @ property_tests)

@@ -1,0 +1,132 @@
+(* Tests for TSV electrical parasitics and Joule self-heating coupling. *)
+
+module Units = Ttsv_physics.Units
+module Params = Ttsv_core.Params
+module Stack = Ttsv_geometry.Stack
+module Parasitics = Ttsv_electrical.Parasitics
+module Joule = Ttsv_electrical.Joule
+open Helpers
+
+let sink_k = Units.kelvin_of_celsius 27.
+
+let parasitics_tests =
+  [
+    test "DC resistance hand computed" (fun () ->
+        (* 100 um of copper, r = 5 um, at 293 K:
+           1.72e-8 * 1e-4 / (pi * 25e-12) *)
+        close_rel "R" (1.72e-8 *. 1e-4 /. (Float.pi *. 25e-12))
+          (Parasitics.dc_resistance Parasitics.copper ~radius:5e-6 ~length:1e-4
+             ~temp_k:293.15));
+    test "resistivity rises with temperature" (fun () ->
+        let r300 = Parasitics.resistivity Parasitics.copper ~temp_k:300. in
+        let r400 = Parasitics.resistivity Parasitics.copper ~temp_k:400. in
+        Alcotest.(check bool) "hotter is worse" true (r400 > r300);
+        (* alpha=3.93e-3: 100 K adds ~39% *)
+        close_rel ~tol:0.02 "39%" 1.39 (r400 /. r300));
+    test "tungsten is more resistive than copper" (fun () ->
+        Alcotest.(check bool) "W > Cu" true
+          (Parasitics.resistivity Parasitics.tungsten ~temp_k:300.
+          > Parasitics.resistivity Parasitics.copper ~temp_k:300.));
+    test "skin depth shrinks with frequency" (fun () ->
+        let d1 = Parasitics.skin_depth Parasitics.copper ~frequency:1e8 ~temp_k:300. in
+        let d2 = Parasitics.skin_depth Parasitics.copper ~frequency:1e10 ~temp_k:300. in
+        Alcotest.(check bool) "smaller" true (d2 < d1);
+        close_rel ~tol:1e-6 "sqrt scaling" 10. (d1 /. d2));
+    test "AC resistance reduces to DC at low frequency" (fun () ->
+        let dc = Parasitics.dc_resistance Parasitics.copper ~radius:5e-6 ~length:1e-4 ~temp_k:300. in
+        let ac =
+          Parasitics.ac_resistance Parasitics.copper ~radius:5e-6 ~length:1e-4 ~frequency:1e6
+            ~temp_k:300.
+        in
+        close_rel "same" dc ac);
+    test "AC resistance exceeds DC once the skin depth bites" (fun () ->
+        let dc =
+          Parasitics.dc_resistance Parasitics.copper ~radius:20e-6 ~length:1e-4 ~temp_k:300.
+        in
+        let ac =
+          Parasitics.ac_resistance Parasitics.copper ~radius:20e-6 ~length:1e-4
+            ~frequency:1e10 ~temp_k:300.
+        in
+        Alcotest.(check bool) "skin effect" true (ac > dc));
+    test "oxide capacitance hand computed" (fun () ->
+        let c =
+          Parasitics.oxide_capacitance ~radius:5e-6 ~liner_thickness:1e-6 ~length:1e-4 ()
+        in
+        let expected =
+          2. *. Float.pi *. 8.8541878128e-12 *. 3.9 *. 1e-4 /. log (6. /. 5.)
+        in
+        close_rel "C" expected c;
+        (* tens of femtofarads: the right order for a 100 um TSV *)
+        Alcotest.(check bool) "order" true (c > 1e-14 && c < 1e-12));
+    test "thinner liner means more capacitance" (fun () ->
+        let c t = Parasitics.oxide_capacitance ~radius:5e-6 ~liner_thickness:t ~length:1e-4 () in
+        Alcotest.(check bool) "monotone" true (c 0.5e-6 > c 2e-6));
+    test "self inductance positive and grows with length" (fun () ->
+        let l1 = Parasitics.self_inductance ~radius:5e-6 ~length:5e-5 in
+        let l2 = Parasitics.self_inductance ~radius:5e-6 ~length:2e-4 in
+        Alcotest.(check bool) "positive" true (l1 > 0.);
+        Alcotest.(check bool) "grows" true (l2 > l1);
+        check_raises_invalid "short" (fun () ->
+            ignore (Parasitics.self_inductance ~radius:5e-6 ~length:1e-6)));
+    test "rc delay" (fun () ->
+        close_rel "tau" 6.9e-14 (Parasitics.rc_delay ~resistance:10. ~capacitance:1e-14));
+    test "validation" (fun () ->
+        check_raises_invalid "radius" (fun () ->
+            ignore (Parasitics.dc_resistance Parasitics.copper ~radius:0. ~length:1. ~temp_k:300.));
+        check_raises_invalid "frequency" (fun () ->
+            ignore (Parasitics.skin_depth Parasitics.copper ~frequency:0. ~temp_k:300.)));
+  ]
+
+let joule_tests =
+  [
+    test "zero current returns the baseline" (fun () ->
+        let stack = Params.block () in
+        let r = Joule.solve ~sink_temperature_k:sink_k ~current_rms:0. stack in
+        close_rel ~tol:1e-12 "baseline" r.Joule.baseline_rise r.Joule.rise;
+        close "no power" 0. r.Joule.joule_power);
+    test "current heats the stack, roughly quadratically" (fun () ->
+        let stack = Params.block () in
+        let extra i =
+          let r = Joule.solve ~sink_temperature_k:sink_k ~current_rms:i stack in
+          r.Joule.rise -. r.Joule.baseline_rise
+        in
+        let e1 = extra 0.5 and e2 = extra 1.0 in
+        Alcotest.(check bool) "heats" true (e1 > 0.);
+        (* superquadratic: resistivity also rises with temperature *)
+        Alcotest.(check bool) "at least quadratic" true (e2 >= 4. *. e1 *. 0.99));
+    test "fixed point reports a consistent operating point" (fun () ->
+        let stack = Params.block () in
+        let r = Joule.solve ~sink_temperature_k:sink_k ~current_rms:1. stack in
+        (* P = I^2 R at the converged temperature *)
+        close_rel ~tol:1e-9 "P = I2R" (1. *. r.Joule.resistance) r.Joule.joule_power;
+        Alcotest.(check bool) "via hotter than sink" true (r.Joule.via_temperature > sink_k);
+        Alcotest.(check bool) "converged quickly" true (r.Joule.iterations < 50));
+    test "tungsten via heats more than copper at the same current" (fun () ->
+        let stack = Params.block () in
+        let rise c =
+          (Joule.solve ~conductor:c ~sink_temperature_k:sink_k ~current_rms:1. stack).Joule.rise
+        in
+        Alcotest.(check bool) "W hotter" true
+          (rise Parasitics.tungsten > rise Parasitics.copper));
+    test "max_current_for_rise hits the budget" (fun () ->
+        let stack = Params.block () in
+        let baseline =
+          (Joule.solve ~sink_temperature_k:sink_k ~current_rms:0. stack).Joule.baseline_rise
+        in
+        let budget = baseline +. 5. in
+        let imax = Joule.max_current_for_rise ~sink_temperature_k:sink_k ~budget stack in
+        let at_imax =
+          (Joule.solve ~sink_temperature_k:sink_k ~current_rms:imax stack).Joule.rise
+        in
+        close_rel ~tol:1e-3 "on budget" budget at_imax;
+        check_raises_invalid "impossible budget" (fun () ->
+            ignore
+              (Joule.max_current_for_rise ~sink_temperature_k:sink_k
+                 ~budget:(baseline -. 1.) stack)));
+    test "negative current rejected" (fun () ->
+        check_raises_invalid "current" (fun () ->
+            ignore
+              (Joule.solve ~sink_temperature_k:sink_k ~current_rms:(-1.) (Params.block ()))));
+  ]
+
+let suite = ("electrical", parasitics_tests @ joule_tests)

@@ -1,0 +1,101 @@
+(* Tests for CSV figure export and VTK field export. *)
+
+module Report = Ttsv_experiments.Report
+module Export = Ttsv_experiments.Export
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+module Vtk = Ttsv_fem.Vtk
+module Grid = Ttsv_fem.Grid
+open Helpers
+
+let sample_figure () =
+  Report.figure ~title:"t" ~x_label:"radius" ~x_unit:"um" ~xs:[| 1.; 2. |]
+    [
+      { Report.label = "Model A"; ys = [| 10.5; 9.25 |] };
+      { Report.label = "FV"; ys = [| 10.; 9. |] };
+    ]
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let csv_tests =
+  [
+    test "figure CSV layout" (fun () ->
+        let csv = Export.figure_to_string (sample_figure ()) in
+        let lines = String.split_on_char '\n' (String.trim csv) in
+        Alcotest.(check int) "rows" 3 (List.length lines);
+        Alcotest.(check string) "header" "radius [um],Model A,FV" (List.nth lines 0);
+        Alcotest.(check string) "row1" "1,10.5,10" (List.nth lines 1);
+        Alcotest.(check string) "row2" "2,9.25,9" (List.nth lines 2));
+    test "cells with commas are quoted" (fun () ->
+        let fig =
+          Report.figure ~title:"t" ~x_label:"x" ~x_unit:"u" ~xs:[| 1. |]
+            [ { Report.label = "a,b"; ys = [| 1. |] } ]
+        in
+        let header = List.hd (String.split_on_char '\n' (Export.figure_to_string fig)) in
+        Alcotest.(check string) "quoted" "x [u],\"a,b\"" header);
+    test "write_figure roundtrips through the filesystem" (fun () ->
+        let path = Filename.temp_file "ttsv_test" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Export.write_figure (sample_figure ()) path;
+            Alcotest.(check string) "same content"
+              (Export.figure_to_string (sample_figure ()))
+              (read_file path)));
+    test "table CSV has title row and data rows" (fun () ->
+        let t =
+          {
+            Report.title = "Table I";
+            columns = [ "Max"; "Avg" ];
+            rows = [ ("B (1)", [ "23%"; "19%" ]); ("A", [ "4%"; "2%" ]) ];
+          }
+        in
+        let path = Filename.temp_file "ttsv_test" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Export.write_table t path;
+            let lines = String.split_on_char '\n' (String.trim (read_file path)) in
+            Alcotest.(check int) "rows" 3 (List.length lines);
+            Alcotest.(check string) "header" "Table I,Max,Avg" (List.nth lines 0);
+            Alcotest.(check string) "data" "B (1),23%,19%" (List.nth lines 1)));
+  ]
+
+let vtk_tests =
+  [
+    test "VTK structure: header, dimensions, point and cell counts" (fun () ->
+        let res =
+          Solver.solve
+            (Problem.uniform_column ~layers:[ (1e-5, 10.) ] ~radius:1e-5 ~cells_per_layer:4
+               ~top_flux:0.1)
+        in
+        let g = res.Solver.problem.Problem.grid in
+        let path = Filename.temp_file "ttsv_test" ".vtk" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Vtk.write res path;
+            let body = read_file path in
+            let contains s =
+              let n = String.length body and m = String.length s in
+              let rec scan i = i + m <= n && (String.sub body i m = s || scan (i + 1)) in
+              scan 0
+            in
+            Alcotest.(check bool) "header" true (contains "# vtk DataFile Version 2.0");
+            Alcotest.(check bool) "dataset" true (contains "DATASET STRUCTURED_GRID");
+            Alcotest.(check bool) "dims" true
+              (contains
+                 (Printf.sprintf "DIMENSIONS %d %d 1" (Grid.nr g + 1) (Grid.nz g + 1)));
+            Alcotest.(check bool) "cell data" true
+              (contains (Printf.sprintf "CELL_DATA %d" (Grid.nr g * Grid.nz g)));
+            Alcotest.(check bool) "temperature field" true
+              (contains "SCALARS temperature_rise double 1");
+            Alcotest.(check bool) "conductivity field" true
+              (contains "SCALARS conductivity double 1")));
+  ]
+
+let suite = ("export", csv_tests @ vtk_tests)

@@ -1,0 +1,158 @@
+(* Tests for the FV transient solver, the convective bottom boundary, via
+   layouts, and adaptive Model B refinement. *)
+
+module Units = Ttsv_physics.Units
+module Params = Ttsv_core.Params
+module Model_b = Ttsv_core.Model_b
+module Transient = Ttsv_core.Transient
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+module Layout = Ttsv_geometry.Layout
+open Helpers
+
+let fv_transient_tests =
+  [
+    test "FV transient converges to the FV steady state" (fun () ->
+        let stack = Params.block () in
+        let problem = Problem.of_stack stack in
+        let steady = Solver.max_rise (Solver.solve problem) in
+        let materials = Problem.materials_of_stack stack in
+        let tr = Solver.solve_transient ~materials ~dt:2e-3 ~steps:60 problem in
+        let last = tr.Solver.max_rises.(Array.length tr.Solver.max_rises - 1) in
+        close_rel ~tol:0.01 "settles" steady last);
+    test "FV transient is monotone under a power step" (fun () ->
+        let stack = Params.block () in
+        let problem = Problem.of_stack stack in
+        let materials = Problem.materials_of_stack stack in
+        let tr = Solver.solve_transient ~materials ~dt:1e-3 ~steps:20 problem in
+        let ok = ref true in
+        for i = 0 to Array.length tr.Solver.max_rises - 2 do
+          if tr.Solver.max_rises.(i + 1) < tr.Solver.max_rises.(i) -. 1e-12 then ok := false
+        done;
+        Alcotest.(check bool) "monotone" true !ok;
+        close "starts cold" 0. tr.Solver.max_rises.(0));
+    test "FV and lumped transients agree on the time scale" (fun () ->
+        (* the lumped Model A transient and the field transient should reach
+           63% of their own steady states within a factor ~2 of each other *)
+        let stack = Params.block () in
+        let lumped = Transient.solve stack ~dt:2e-4 ~duration:0.05 in
+        let tau_lumped = Transient.time_constant lumped in
+        let problem = Problem.of_stack stack in
+        let materials = Problem.materials_of_stack stack in
+        let tr = Solver.solve_transient ~materials ~dt:5e-4 ~steps:100 problem in
+        let steady = tr.Solver.max_rises.(Array.length tr.Solver.max_rises - 1) in
+        let target = (1. -. exp (-1.)) *. steady in
+        let tau_fv =
+          let i = ref 0 in
+          while tr.Solver.max_rises.(!i) < target do
+            incr i
+          done;
+          tr.Solver.times.(!i)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "tau lumped %.2g vs FV %.2g" tau_lumped tau_fv)
+          true
+          (tau_fv /. tau_lumped < 2.5 && tau_lumped /. tau_fv < 2.5));
+    test "transient validation" (fun () ->
+        let stack = Params.block () in
+        let problem = Problem.of_stack stack in
+        let materials = Problem.materials_of_stack stack in
+        check_raises_invalid "dt" (fun () ->
+            ignore (Solver.solve_transient ~materials ~dt:0. ~steps:5 problem));
+        check_raises_invalid "materials" (fun () ->
+            ignore
+              (Solver.solve_transient
+                 ~materials:[| Ttsv_physics.Materials.silicon |]
+                 ~dt:1e-3 ~steps:5 problem)));
+  ]
+
+let convective_tests =
+  [
+    test "a finite film coefficient raises every temperature" (fun () ->
+        let stack = Params.block () in
+        let problem = Problem.of_stack stack in
+        let iso = Solver.max_rise (Solver.solve problem) in
+        let conv = Solver.max_rise (Solver.solve ~bottom_h:5e4 problem) in
+        Alcotest.(check bool) "hotter above a film" true (conv > iso));
+    test "a huge film coefficient recovers the isothermal answer" (fun () ->
+        let stack = Params.block () in
+        let problem = Problem.of_stack stack in
+        let iso = Solver.max_rise (Solver.solve problem) in
+        let nearly = Solver.max_rise (Solver.solve ~bottom_h:1e12 problem) in
+        close_rel ~tol:1e-4 "limit" iso nearly);
+    test "film resistance adds about 1/(h A) for a uniform slab" (fun () ->
+        let p =
+          Problem.uniform_column ~layers:[ (1e-4, 150.) ] ~radius:1e-4 ~cells_per_layer:10
+            ~top_flux:0.5
+        in
+        let h = 1e4 in
+        let area = Float.pi *. 1e-8 in
+        let iso = Solver.max_rise (Solver.solve p) in
+        let conv = Solver.max_rise (Solver.solve ~bottom_h:h p) in
+        close_rel ~tol:1e-6 "series film" (0.5 /. (h *. area)) (conv -. iso));
+    test "nonpositive h rejected" (fun () ->
+        let p = Problem.of_stack (Params.block ()) in
+        check_raises_invalid "h" (fun () -> ignore (Solver.solve ~bottom_h:0. p)));
+  ]
+
+let layout_tests =
+  [
+    test "square grid count and containment" (fun () ->
+        let side = 1e-4 in
+        let centers = Layout.square_grid ~side ~rows:3 ~cols:4 in
+        Alcotest.(check int) "count" 12 (List.length centers);
+        Alcotest.(check bool) "fits" true (Layout.fits ~side ~margin:1e-5 centers));
+    test "square grid pitch" (fun () ->
+        let centers = Layout.square_grid ~side:1e-4 ~rows:2 ~cols:2 in
+        close_rel "pitch is half the side" 5e-5 (Layout.min_pitch centers));
+    test "hexagonal respects its pitch" (fun () ->
+        let centers = Layout.hexagonal ~side:1e-4 ~pitch:2e-5 in
+        Alcotest.(check bool) "nonempty" true (List.length centers > 10);
+        Alcotest.(check bool) "drc" true
+          (Layout.spacing_ok ~min_spacing:(2e-5 *. 0.999) centers);
+        Alcotest.(check bool) "fits" true (Layout.fits ~side:1e-4 ~margin:(1e-5 *. 0.999) centers));
+    test "hexagonal packs denser than square at equal spacing" (fun () ->
+        let side = 2e-4 and pitch = 2e-5 in
+        let hex = List.length (Layout.hexagonal ~side ~pitch) in
+        let per_row = int_of_float (side /. pitch) in
+        let square = per_row * per_row in
+        Alcotest.(check bool)
+          (Printf.sprintf "hex %d > square %d" hex square)
+          true (hex > square));
+    test "ring geometry" (fun () ->
+        let side = 1e-4 in
+        let centers = Layout.ring ~side ~count:8 ~radius:3e-5 in
+        Alcotest.(check int) "count" 8 (List.length centers);
+        List.iter
+          (fun (x, y) ->
+            close_rel ~tol:1e-9 "on circle" 3e-5
+              (Float.hypot (x -. (side /. 2.)) (y -. (side /. 2.))))
+          centers;
+        check_raises_invalid "too large" (fun () ->
+            ignore (Layout.ring ~side ~count:4 ~radius:6e-5)));
+    test "min_pitch of a singleton is infinite" (fun () ->
+        Alcotest.(check bool) "inf" true (Layout.min_pitch [ (0., 0.) ] = Float.infinity));
+  ]
+
+let adaptive_tests =
+  [
+    test "adaptive Model B converges and reports its ladder" (fun () ->
+        let stack = Params.block () in
+        let r, ladder = Model_b.solve_adaptive ~rel_tol:0.005 stack in
+        (match ladder with
+        | 10 :: _ :: _ -> ()
+        | _ -> Alcotest.fail "expected a doubling ladder from 10");
+        let reference = Model_b.max_rise (Model_b.solve_n stack 1000) in
+        close_rel ~tol:0.01 "near converged" reference (Model_b.max_rise r));
+    test "tighter tolerance climbs further" (fun () ->
+        let stack = Params.block () in
+        let _, loose = Model_b.solve_adaptive ~rel_tol:0.05 stack in
+        let _, tight = Model_b.solve_adaptive ~rel_tol:0.001 stack in
+        Alcotest.(check bool) "more levels" true (List.length tight >= List.length loose));
+    test "validation" (fun () ->
+        check_raises_invalid "tol" (fun () ->
+            ignore (Model_b.solve_adaptive ~rel_tol:0. (Params.block ()))));
+  ]
+
+let suite =
+  ("fv-transient+layout", fv_transient_tests @ convective_tests @ layout_tests @ adaptive_tests)

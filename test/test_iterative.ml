@@ -1,0 +1,92 @@
+(* Tests for CG, BiCGStab and the stationary iterations. *)
+
+module Sparse = Ttsv_numerics.Sparse
+module Iterative = Ttsv_numerics.Iterative
+module Dense = Ttsv_numerics.Dense
+module Vec = Ttsv_numerics.Vec
+open Helpers
+
+let gen_spd_system n =
+  QCheck2.Gen.(gen_spd n >>= fun m -> gen_vec n >|= fun b -> (m, b))
+
+let solves_to solver (m, b) =
+  let r = solver m b in
+  r.Iterative.converged
+  && Vec.norm_inf (Vec.sub (Sparse.mat_vec m r.Iterative.solution) b)
+     < 1e-6 *. Float.max 1. (Vec.norm_inf b)
+
+let small_nonsym () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 4.;
+  Sparse.add b 0 1 1.;
+  Sparse.add b 1 0 2.;
+  Sparse.add b 1 1 5.;
+  Sparse.add b 1 2 1.;
+  Sparse.add b 2 1 (-1.);
+  Sparse.add b 2 2 3.;
+  Sparse.finalize b
+
+let unit_tests =
+  [
+    test "cg solves identity" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 4) in
+        let r = Iterative.cg m [| 1.; 2.; 3.; 4. |] in
+        Alcotest.(check bool) "converged" true r.Iterative.converged;
+        close "x2" 3. r.Iterative.solution.(2));
+    test "cg zero rhs gives zero" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 3) in
+        let r = Iterative.cg m [| 0.; 0.; 0. |] in
+        close "norm" 0. (Vec.norm_inf r.Iterative.solution));
+    test "cg_exn raises on tiny budget" (fun () ->
+        let m, b = (small_nonsym (), [| 1.; 2.; 3. |]) in
+        let spd = Sparse.of_dense (Dense.mat_mul (Dense.transpose (Sparse.to_dense m)) (Sparse.to_dense m)) in
+        match Iterative.cg_exn ~max_iter:1 ~tol:1e-14 spd b with
+        | exception Iterative.Not_converged _ -> ()
+        | _ -> Alcotest.fail "expected Not_converged");
+    test "bicgstab solves nonsymmetric" (fun () ->
+        let m = small_nonsym () in
+        let b = [| 1.; 2.; 3. |] in
+        let r = Iterative.bicgstab ~tol:1e-12 m b in
+        Alcotest.(check bool) "converged" true r.Iterative.converged;
+        let exact = Dense.solve (Sparse.to_dense m) b in
+        Alcotest.(check bool) "matches LU" true
+          (Vec.approx_equal ~rtol:1e-6 ~atol:1e-9 r.Iterative.solution exact));
+    test "jacobi rejects zero diagonal" (fun () ->
+        let b = Sparse.builder 2 2 in
+        Sparse.add b 0 1 1.;
+        Sparse.add b 1 0 1.;
+        check_raises_invalid "zero diag" (fun () ->
+            ignore (Iterative.jacobi (Sparse.finalize b) [| 1.; 1. |])));
+    test "sor validates omega" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 2) in
+        check_raises_invalid "omega" (fun () ->
+            ignore (Iterative.sor ~omega:2.5 m [| 1.; 1. |])));
+    test "rhs dimension mismatch" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 2) in
+        check_raises_invalid "dim" (fun () -> ignore (Iterative.cg m [| 1. |])));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:40 "cg solves SPD systems" (gen_spd_system 15)
+      (solves_to (fun m b -> Iterative.cg ~tol:1e-12 m b));
+    qtest ~count:30 "bicgstab solves SPD systems too" (gen_spd_system 10)
+      (solves_to (fun m b -> Iterative.bicgstab ~tol:1e-12 m b));
+    qtest ~count:20 "jacobi converges on these diagonally dominant systems" (gen_spd_system 8)
+      (solves_to (fun m b -> Iterative.jacobi ~tol:1e-10 ~max_iter:20000 m b));
+    qtest ~count:20 "gauss-seidel converges" (gen_spd_system 8)
+      (solves_to (fun m b -> Iterative.gauss_seidel ~tol:1e-10 ~max_iter:20000 m b));
+    qtest ~count:20 "sor with omega=1.3 converges" (gen_spd_system 8)
+      (solves_to (fun m b -> Iterative.sor ~omega:1.3 ~tol:1e-10 ~max_iter:20000 m b));
+    qtest ~count:30 "cg matches dense LU" (gen_spd_system 12) (fun (m, b) ->
+        let r = Iterative.cg ~tol:1e-13 m b in
+        let exact = Dense.solve (Sparse.to_dense m) b in
+        Vec.approx_equal ~rtol:1e-6 ~atol:1e-8 r.Iterative.solution exact);
+    qtest ~count:20 "warm start from the solution converges immediately" (gen_spd_system 10)
+      (fun (m, b) ->
+        let r1 = Iterative.cg ~tol:1e-13 m b in
+        let r2 = Iterative.cg ~tol:1e-10 ~x0:r1.Iterative.solution m b in
+        r2.Iterative.iterations = 0 && r2.Iterative.converged);
+  ]
+
+let suite = ("iterative", unit_tests @ property_tests)

@@ -1,0 +1,77 @@
+(* Tests for the traditional 1-D baseline model. *)
+
+module Units = Ttsv_physics.Units
+module Params = Ttsv_core.Params
+module Model_1d = Ttsv_core.Model_1d
+module Stack = Ttsv_geometry.Stack
+module Tsv = Ttsv_geometry.Tsv
+open Helpers
+
+let unit_tests =
+  [
+    test "liner thickness does not change the 1-D prediction" (fun () ->
+        (* the central negative result the paper establishes: compare at
+           fixed heat inputs *)
+        let thin = Params.fig5_stack (Units.um 0.5) in
+        let thick = Params.fig5_stack (Units.um 3.) in
+        let qs = Stack.heat_inputs thin in
+        let a = Model_1d.max_rise (Model_1d.solve_with_heats thin qs) in
+        let b = Model_1d.max_rise (Model_1d.solve_with_heats thick qs) in
+        close_rel ~tol:1e-12 "flat in t_L" a b);
+    test "plane tops increase monotonically" (fun () ->
+        let r = Model_1d.solve (Params.block ()) in
+        Alcotest.(check bool) "t0 < p1" true (r.Model_1d.t0 < r.Model_1d.plane_tops.(0));
+        Alcotest.(check bool) "p1 < p2" true
+          (r.Model_1d.plane_tops.(0) < r.Model_1d.plane_tops.(1));
+        Alcotest.(check bool) "p2 < p3" true
+          (r.Model_1d.plane_tops.(1) < r.Model_1d.plane_tops.(2)));
+    test "max rise is the chain top" (fun () ->
+        let r = Model_1d.solve (Params.block ()) in
+        close_rel "top" r.Model_1d.plane_tops.(2) (Model_1d.max_rise r));
+    test "hand-computed single-plane chain" (fun () ->
+        let tsv = Tsv.make ~radius:(Units.um 5.) ~liner_thickness:(Units.um 1.)
+            ~extension:(Units.um 1.) ()
+        in
+        let plane =
+          Ttsv_geometry.Plane.make ~t_substrate:(Units.um 500.) ~t_ild:(Units.um 4.)
+            ~t_bond:0. ~t_device:(Units.um 1.)
+            ~device_power_density:(Units.w_per_mm3 700.) ()
+        in
+        let stack = Stack.make ~footprint:1e-8 ~planes:[ plane ] ~tsv () in
+        let q = Stack.total_heat stack in
+        let r = Model_1d.solve stack in
+        (* Rs = 499um/(150*A0); plane = (4um/1.4 + 1um/150)/(A0 - pi r^2)
+           in parallel with 5um/(400 pi r^2) *)
+        let rs = 499e-6 /. (150. *. 1e-8) in
+        let area = 1e-8 -. (Float.pi *. 25e-12) in
+        let bulk = ((4e-6 /. 1.4) +. (1e-6 /. 150.)) /. area in
+        let via = 5e-6 /. (400. *. Float.pi *. 25e-12) in
+        let plane_r = 1. /. ((1. /. bulk) +. (1. /. via)) in
+        close_rel "t0" (rs *. q) r.Model_1d.t0;
+        close_rel "top" ((rs +. plane_r) *. q) (Model_1d.max_rise r));
+    test "heat vector length is validated" (fun () ->
+        check_raises_invalid "qs" (fun () ->
+            ignore (Model_1d.solve_with_heats (Params.block ()) [| 1. |])));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:40 "monotone increasing with substrate thickness (the 1-D blind spot)"
+      (QCheck2.Gen.float_range 10. 40.)
+      (fun t_um ->
+        (* fixed heats so only the resistances vary *)
+        let s1 = Params.fig6_stack (Units.um t_um) in
+        let s2 = Params.fig6_stack (Units.um (t_um *. 1.5)) in
+        let qs = Stack.heat_inputs s1 in
+        Model_1d.max_rise (Model_1d.solve_with_heats s2 qs)
+        > Model_1d.max_rise (Model_1d.solve_with_heats s1 qs));
+    qtest ~count:40 "1-D rise decreases with radius" gen_stack3 (fun s ->
+        let bigger = Stack.with_tsv s (Tsv.with_radius s.Stack.tsv (s.Stack.tsv.Tsv.radius *. 1.5)) in
+        let qs = Stack.heat_inputs s in
+        Model_1d.max_rise (Model_1d.solve_with_heats bigger qs)
+        < Model_1d.max_rise (Model_1d.solve_with_heats s qs));
+    qtest ~count:40 "1-D rise is positive on random stacks" gen_stack (fun s ->
+        Model_1d.max_rise (Model_1d.solve s) > 0.);
+  ]
+
+let suite = ("model_1d", unit_tests @ property_tests)

@@ -1,0 +1,167 @@
+(* Tests for the resistive-network substrate (Reduce + Circuit). *)
+
+module Reduce = Ttsv_network.Reduce
+module Circuit = Ttsv_network.Circuit
+open Helpers
+
+let reduce_tests =
+  [
+    test "series" (fun () -> close "s" 6. (Reduce.series [ 1.; 2.; 3. ]));
+    test "series of empty list is zero" (fun () -> close "s0" 0. (Reduce.series []));
+    test "parallel of equal pair halves" (fun () -> close "p" 5. (Reduce.parallel [ 10.; 10. ]));
+    test "parallel hand computed" (fun () ->
+        close ~tol:1e-12 "p" 2. (Reduce.parallel [ 3.; 6. ]));
+    test "parallel rejects empty and nonpositive" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (Reduce.parallel []));
+        check_raises_invalid "neg" (fun () -> ignore (Reduce.parallel [ -1. ])));
+    test "slab formula" (fun () ->
+        (* 100 um of silicon over 0.01 mm^2: 1e-4 / (150 * 1e-8) *)
+        close_rel "slab" (1e-4 /. 1.5e-6)
+          (Reduce.slab ~thickness:1e-4 ~conductivity:150. ~area:1e-8));
+    test "cylinder axial formula" (fun () ->
+        close_rel "cyl" (1e-4 /. (400. *. Float.pi *. 1e-10))
+          (Reduce.cylinder_axial ~length:1e-4 ~conductivity:400. ~radius:1e-5));
+    test "cylindrical shell (eq. 9 closed form)" (fun () ->
+        let r = 5e-6 and t = 1e-6 and k = 1.4 and len = 5e-5 in
+        close_rel "shell"
+          (log ((r +. t) /. r) /. (2. *. Float.pi *. k *. len))
+          (Reduce.cylindrical_shell_radial ~inner_radius:r ~thickness:t ~conductivity:k
+             ~length:len));
+    test "conductance" (fun () ->
+        close "g" 0.25 (Reduce.conductance 4.);
+        check_raises_invalid "zero" (fun () -> ignore (Reduce.conductance 0.)));
+  ]
+
+(* A two-resistor divider: q flows through r1 then r2 to ground. *)
+let divider r1 r2 q =
+  let c = Circuit.create () in
+  let g = Circuit.ground c in
+  let mid = Circuit.add_node c "mid" in
+  let top = Circuit.add_node c "top" in
+  Circuit.add_resistor c g mid r2;
+  Circuit.add_resistor c mid top r1;
+  Circuit.add_heat_source c top q;
+  (c, mid, top)
+
+let circuit_tests =
+  [
+    test "series divider temperatures" (fun () ->
+        let c, mid, top = divider 3. 7. 2. in
+        let s = Circuit.solve c in
+        close_rel "mid" 14. (Circuit.temperature s mid);
+        close_rel "top" 20. (Circuit.temperature s top));
+    test "parallel resistors combine" (fun () ->
+        let c = Circuit.create () in
+        let g = Circuit.ground c in
+        let n = Circuit.add_node c "n" in
+        Circuit.add_resistor c g n 10.;
+        Circuit.add_resistor c g n 10.;
+        Circuit.add_heat_source c n 1.;
+        let s = Circuit.solve c in
+        close_rel "5 K/W" 5. (Circuit.temperature s n));
+    test "ground temperature is zero" (fun () ->
+        let c, _, _ = divider 1. 1. 1. in
+        let s = Circuit.solve c in
+        close "ground" 0. (Circuit.temperature s (Circuit.ground c)));
+    test "disconnected node is reported by name" (fun () ->
+        let c = Circuit.create () in
+        let _ = Circuit.add_node c "floating" in
+        (match Circuit.solve c with
+        | exception Invalid_argument msg ->
+          Alcotest.(check bool) "names the node" true
+            (String.length msg > 0
+            && Option.is_some (String.index_opt msg 'f'))
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+    test "self loop rejected" (fun () ->
+        let c = Circuit.create () in
+        let n = Circuit.add_node c "n" in
+        check_raises_invalid "self" (fun () -> Circuit.add_resistor c n n 1.));
+    test "nonpositive resistance rejected" (fun () ->
+        let c = Circuit.create () in
+        let n = Circuit.add_node c "n" in
+        check_raises_invalid "zero" (fun () -> Circuit.add_resistor c n (Circuit.ground c) 0.);
+        check_raises_invalid "nan" (fun () ->
+            Circuit.add_resistor c n (Circuit.ground c) Float.nan));
+    test "foreign node rejected" (fun () ->
+        let c1 = Circuit.create () and c2 = Circuit.create () in
+        let n1 = Circuit.add_node c1 "a" and n2 = Circuit.add_node c2 "b" in
+        check_raises_invalid "foreign" (fun () -> Circuit.add_resistor c1 n1 n2 1.));
+    test "branch heat flow and conservation" (fun () ->
+        let c, mid, top = divider 3. 7. 2. in
+        let s = Circuit.solve c in
+        close_rel "through r1" 2. (Circuit.branch_heat_flow s top mid);
+        close_rel "through r2" 2. (Circuit.branch_heat_flow s mid (Circuit.ground c));
+        close_rel "antisymmetry" (-2.) (Circuit.branch_heat_flow s mid top));
+    test "sources accumulate" (fun () ->
+        let c = Circuit.create () in
+        let n = Circuit.add_node c "n" in
+        Circuit.add_resistor c n (Circuit.ground c) 2.;
+        Circuit.add_heat_source c n 1.;
+        Circuit.add_heat_source c n 0.5;
+        close "total" 1.5 (Circuit.total_injected c);
+        let s = Circuit.solve c in
+        close_rel "temp" 3. (Circuit.temperature s n));
+    test "negative source extracts heat" (fun () ->
+        let c = Circuit.create () in
+        let n = Circuit.add_node c "n" in
+        Circuit.add_resistor c n (Circuit.ground c) 2.;
+        Circuit.add_heat_source c n (-1.);
+        let s = Circuit.solve c in
+        close_rel "below ambient" (-2.) (Circuit.temperature s n));
+    test "node_name" (fun () ->
+        let c = Circuit.create () in
+        let a = Circuit.add_node c "alpha" in
+        let b = Circuit.add_node c "beta" in
+        Alcotest.(check string) "a" "alpha" (Circuit.node_name c a);
+        Alcotest.(check string) "b" "beta" (Circuit.node_name c b);
+        Alcotest.(check string) "gnd" "ground" (Circuit.node_name c (Circuit.ground c)));
+    test "large ladder uses CG path and stays accurate" (fun () ->
+        (* 400-node ladder: dense threshold is 256, so this exercises CG;
+           closed form of a uniform ladder: T(k) = q * sum_{j<=k} j * r? ...
+           simpler: all heat at the top, T_top = n * r * q *)
+        let n = 400 and r = 0.5 and q = 2. in
+        let c = Circuit.create () in
+        let nodes =
+          Array.init n (fun i -> Circuit.add_node c (Printf.sprintf "n%d" i))
+        in
+        Circuit.add_resistor c (Circuit.ground c) nodes.(0) r;
+        for i = 0 to n - 2 do
+          Circuit.add_resistor c nodes.(i) nodes.(i + 1) r
+        done;
+        Circuit.add_heat_source c nodes.(n - 1) q;
+        let s = Circuit.solve c in
+        close_rel ~tol:1e-6 "top of ladder" (float_of_int n *. r *. q)
+          (Circuit.temperature s nodes.(n - 1));
+        Alcotest.(check bool) "residual tiny" true (Circuit.residual_norm s < 1e-8));
+    test "max_temperature of empty circuit is zero" (fun () ->
+        close "empty" 0. (Circuit.max_temperature (Circuit.solve (Circuit.create ()))));
+  ]
+
+(* superposition: solving with q1+q2 equals sum of separate solutions *)
+let superposition_prop (r1, r2, q1, q2) =
+  let solve_with q =
+    let c, mid, top = divider r1 r2 q in
+    let s = Circuit.solve c in
+    (Circuit.temperature s mid, Circuit.temperature s top)
+  in
+  let m1, t1 = solve_with q1 in
+  let m2, t2 = solve_with q2 in
+  let m12, t12 = solve_with (q1 +. q2) in
+  Float.abs (m12 -. (m1 +. m2)) < 1e-9 && Float.abs (t12 -. (t1 +. t2)) < 1e-9
+
+let property_tests =
+  [
+    qtest ~count:60 "superposition (linearity)"
+      QCheck2.Gen.(
+        let pos = float_range 0.1 50. in
+        quad pos pos pos pos)
+      superposition_prop;
+    qtest ~count:60 "divider temperatures scale with resistance"
+      QCheck2.Gen.(pair (float_range 0.1 10.) (float_range 0.1 10.))
+      (fun (r1, r2) ->
+        let c, _, top = divider r1 r2 1. in
+        let s = Circuit.solve c in
+        Float.abs (Circuit.temperature s top -. (r1 +. r2)) < 1e-9);
+  ]
+
+let suite = ("network", reduce_tests @ circuit_tests @ property_tests)

@@ -1,0 +1,94 @@
+(* Tests for units, materials and conductivity mixing. *)
+
+module Units = Ttsv_physics.Units
+module Material = Ttsv_physics.Material
+module Materials = Ttsv_physics.Materials
+module Mixing = Ttsv_physics.Mixing
+open Helpers
+
+let units_tests =
+  [
+    test "um roundtrip" (fun () -> close ~tol:1e-12 "um" 5. (Units.to_um (Units.um 5.)));
+    test "mm roundtrip" (fun () -> close ~tol:1e-12 "mm" 2.5 (Units.to_mm (Units.mm 2.5)));
+    test "areas" (fun () ->
+        close ~tol:1e-12 "um2" 1e-12 (Units.um2 1.);
+        close ~tol:1e-12 "mm2" 1e-6 (Units.mm2 1.));
+    test "power densities" (fun () ->
+        close "w/mm3" 7e11 (Units.w_per_mm3 700.);
+        close "w/cm2" 1e5 (Units.w_per_cm2 10.));
+    test "temperature conversions" (fun () ->
+        close ~tol:1e-12 "c of k" 26.85 (Units.celsius_of_kelvin 300.);
+        close ~tol:1e-12 "k of c" 300.15 (Units.kelvin_of_celsius 27.));
+  ]
+
+let material_tests =
+  [
+    test "paper conductivities" (fun () ->
+        close "si" 150. Materials.silicon.Material.conductivity;
+        close "sio2" 1.4 Materials.silicon_dioxide.Material.conductivity;
+        close "polyimide" 0.15 Materials.polyimide.Material.conductivity;
+        close "cu" 400. Materials.copper.Material.conductivity);
+    test "make rejects nonpositive k" (fun () ->
+        check_raises_invalid "k" (fun () ->
+            ignore (Material.make ~name:"bad" ~conductivity:0. ())));
+    test "k_at constant material" (fun () ->
+        close "const" 400. (Material.k_at Materials.copper 400.));
+    test "k_at with law decreases with temperature" (fun () ->
+        let k300 = Material.k_at Materials.silicon_k_of_t 300. in
+        let k400 = Material.k_at Materials.silicon_k_of_t 400. in
+        Alcotest.(check bool) "monotone" true (k400 < k300);
+        close ~tol:1e-9 "at 300K" 154. k300);
+    test "with_conductivity" (fun () ->
+        let m = Material.with_conductivity Materials.silicon_dioxide 2.0 in
+        close "updated" 2.0 m.Material.conductivity;
+        close "original untouched" 1.4 Materials.silicon_dioxide.Material.conductivity);
+    test "by_name is case insensitive" (fun () ->
+        let m = Materials.by_name "Copper" in
+        Alcotest.(check string) "name" "copper" m.Material.name);
+    test "by_name unknown raises Not_found" (fun () ->
+        match Materials.by_name "unobtainium" with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+    test "all materials are distinct by name" (fun () ->
+        let names = List.map (fun (m : Material.t) -> m.Material.name) Materials.all in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let mixing_tests =
+  [
+    test "parallel rule hand computed" (fun () ->
+        close ~tol:1e-12 "parallel" 21.33 (Mixing.parallel [ (1.4, 0.95); (400., 0.05) ]));
+    test "series of equal phases is that phase" (fun () ->
+        close ~tol:1e-12 "series" 5. (Mixing.series [ (5., 0.5); (5., 0.5) ]));
+    test "fractions must sum to one" (fun () ->
+        check_raises_invalid "sum" (fun () -> ignore (Mixing.parallel [ (1., 0.5) ])));
+    test "maxwell_garnett limits" (fun () ->
+        close ~tol:1e-9 "f=0" 1.4
+          (Mixing.maxwell_garnett ~k_matrix:1.4 ~k_inclusion:400. ~fraction:0.);
+        let f1 = Mixing.maxwell_garnett ~k_matrix:1.4 ~k_inclusion:400. ~fraction:1. in
+        Alcotest.(check bool) "f=1 near inclusion" true (Float.abs (f1 -. 400.) /. 400. < 0.05));
+    test "ild_with_metal equals two-phase parallel" (fun () ->
+        close ~tol:1e-12 "ild"
+          (Mixing.parallel [ (1.4, 0.9); (400., 0.1) ])
+          (Mixing.ild_with_metal ~k_dielectric:1.4 ~k_metal:400. ~metal_fraction:0.1));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:60 "wiener bounds: series <= maxwell-garnett <= parallel"
+      QCheck2.Gen.(triple (float_range 0.5 5.) (float_range 10. 500.) (float_range 0.05 0.6))
+      (fun (k1, k2, f) ->
+        let s = Mixing.series [ (k1, 1. -. f); (k2, f) ] in
+        let p = Mixing.parallel [ (k1, 1. -. f); (k2, f) ] in
+        let mg = Mixing.maxwell_garnett ~k_matrix:k1 ~k_inclusion:k2 ~fraction:f in
+        s <= mg +. 1e-9 && mg <= p +. 1e-9);
+    qtest ~count:60 "mixing results are bracketed by the phases"
+      QCheck2.Gen.(triple (float_range 0.5 5.) (float_range 10. 500.) (float_range 0.01 0.99))
+      (fun (k1, k2, f) ->
+        let p = Mixing.parallel [ (k1, 1. -. f); (k2, f) ] in
+        let lo = Float.min k1 k2 and hi = Float.max k1 k2 in
+        lo -. 1e-9 <= p && p <= hi +. 1e-9);
+  ]
+
+let suite = ("physics", units_tests @ material_tests @ mixing_tests @ property_tests)

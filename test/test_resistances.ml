@@ -1,0 +1,122 @@
+(* Tests for the eq. 7-16 resistance formulas. *)
+
+module Units = Ttsv_physics.Units
+module Params = Ttsv_core.Params
+module Coefficients = Ttsv_core.Coefficients
+module Resistances = Ttsv_core.Resistances
+module Stack = Ttsv_geometry.Stack
+open Helpers
+
+(* Independent re-derivation of the eq. 7-16 values for the default block
+   (r=5, tL=1, tD=4, tb=1, tSi23=45, tSi1=500, lext=1; k_Si=150, k_D=1.4,
+   k_b=0.15, k_f=400, k_L=1.4), written as literal arithmetic so the test is
+   an oracle rather than a copy of the implementation. *)
+let hand_computed () =
+  let um = 1e-6 in
+  let a0 = 1e-8 in
+  let a = a0 -. (Float.pi *. ((6. *. um) ** 2.)) in
+  let fill = Float.pi *. ((5. *. um) ** 2.) in
+  let lat span = log (6. /. 5.) /. (2. *. Float.pi *. 1.4 *. span) in
+  let r1 = ((4. *. um /. 1.4) +. (1. *. um /. 150.)) /. a in
+  let r2 = 5. *. um /. (400. *. fill) in
+  let r3 = lat (5. *. um) in
+  let r4 = ((4. *. um /. 1.4) +. (45. *. um /. 150.) +. (1. *. um /. 0.15)) /. a in
+  let r5 = 50. *. um /. (400. *. fill) in
+  let r6 = lat (50. *. um) in
+  let r7 = r4 in
+  let r8 = 46. *. um /. (400. *. fill) in
+  let r9 = lat (46. *. um) in
+  let rs = 499. *. um /. (150. *. a0) in
+  (r1, r2, r3, r4, r5, r6, r7, r8, r9, rs)
+
+let unit_tests =
+  [
+    test "eq. 7-16 on the paper block (unity coefficients)" (fun () ->
+        let rs = Resistances.of_stack (Params.block ()) in
+        let r1, r2, r3, r4, r5, r6, r7, r8, r9, rsink = hand_computed () in
+        let t = rs.Resistances.triples in
+        close_rel "R1" r1 t.(0).Resistances.bulk;
+        close_rel "R2" r2 t.(0).Resistances.tsv;
+        close_rel "R3" r3 t.(0).Resistances.liner;
+        close_rel "R4" r4 t.(1).Resistances.bulk;
+        close_rel "R5" r5 t.(1).Resistances.tsv;
+        close_rel "R6" r6 t.(1).Resistances.liner;
+        close_rel "R7" r7 t.(2).Resistances.bulk;
+        close_rel "R8" r8 t.(2).Resistances.tsv;
+        close_rel "R9" r9 t.(2).Resistances.liner;
+        close_rel "Rs" rsink rs.Resistances.r_sink);
+    test "k1 divides vertical resistances and Rs" (fun () ->
+        let stack = Params.block () in
+        let base = Resistances.of_stack stack in
+        let scaled =
+          Resistances.of_stack ~coeffs:(Coefficients.make ~k1:2. ~k2:1.) stack
+        in
+        Array.iteri
+          (fun i (tr : Resistances.triple) ->
+            let b = base.Resistances.triples.(i) in
+            close_rel "bulk" (b.Resistances.bulk /. 2.) tr.Resistances.bulk;
+            close_rel "tsv" (b.Resistances.tsv /. 2.) tr.Resistances.tsv;
+            close_rel "liner unchanged" b.Resistances.liner tr.Resistances.liner)
+          scaled.Resistances.triples;
+        close_rel "Rs" (base.Resistances.r_sink /. 2.) scaled.Resistances.r_sink);
+    test "k2 divides only the liner resistances" (fun () ->
+        let stack = Params.block () in
+        let base = Resistances.of_stack stack in
+        let scaled =
+          Resistances.of_stack ~coeffs:(Coefficients.make ~k1:1. ~k2:4.) stack
+        in
+        Array.iteri
+          (fun i (tr : Resistances.triple) ->
+            let b = base.Resistances.triples.(i) in
+            close_rel "liner" (b.Resistances.liner /. 4.) tr.Resistances.liner;
+            close_rel "bulk unchanged" b.Resistances.bulk tr.Resistances.bulk)
+          scaled.Resistances.triples);
+    test "plane spans per the paper" (fun () ->
+        let s = Params.block () in
+        close_rel "plane1: tD+lext" (Units.um 5.) (Resistances.plane_span s 0);
+        close_rel "plane2: tb+tSi+tD" (Units.um 50.) (Resistances.plane_span s 1);
+        close_rel "plane3: tb+tSi" (Units.um 46.) (Resistances.plane_span s 2));
+    test "coefficients validation" (fun () ->
+        check_raises_invalid "k1" (fun () -> ignore (Coefficients.make ~k1:0. ~k2:1.)));
+    test "paper coefficient presets" (fun () ->
+        close "k1" 1.3 Coefficients.paper_block.Coefficients.k1;
+        close "k2" 0.55 Coefficients.paper_block.Coefficients.k2;
+        close "case k1" 1.6 Coefficients.paper_case_study.Coefficients.k1;
+        close "case k2" 0.8 Coefficients.paper_case_study.Coefficients.k2);
+  ]
+
+let property_tests =
+  [
+    qtest ~count:40 "all resistances are positive and finite" gen_stack (fun s ->
+        let rs = Resistances.of_stack s in
+        rs.Resistances.r_sink > 0.
+        && Array.for_all
+             (fun (t : Resistances.triple) ->
+               t.Resistances.bulk > 0. && t.Resistances.tsv > 0. && t.Resistances.liner > 0.
+               && Float.is_finite t.Resistances.bulk)
+             rs.Resistances.triples);
+    qtest ~count:40 "larger radius lowers the TSV and liner resistances" gen_stack3 (fun s ->
+        let bigger =
+          Stack.with_tsv s (Ttsv_geometry.Tsv.with_radius s.Stack.tsv (s.Stack.tsv.Ttsv_geometry.Tsv.radius *. 1.5))
+        in
+        let r = Resistances.of_stack s and r' = Resistances.of_stack bigger in
+        Array.for_all2
+          (fun (a : Resistances.triple) (b : Resistances.triple) ->
+            b.Resistances.tsv < a.Resistances.tsv && b.Resistances.liner < a.Resistances.liner)
+          r.Resistances.triples r'.Resistances.triples);
+    qtest ~count:40 "thicker liner raises only the liner resistance" gen_stack3 (fun s ->
+        let thicker =
+          Stack.with_tsv s
+            (Ttsv_geometry.Tsv.with_liner_thickness s.Stack.tsv
+               (s.Stack.tsv.Ttsv_geometry.Tsv.liner_thickness *. 2.))
+        in
+        let r = Resistances.of_stack s and r' = Resistances.of_stack thicker in
+        Array.for_all2
+          (fun (a : Resistances.triple) (b : Resistances.triple) ->
+            b.Resistances.liner > a.Resistances.liner
+            && Float.abs (b.Resistances.tsv -. a.Resistances.tsv)
+               <= 1e-12 *. a.Resistances.tsv)
+          r.Resistances.triples r'.Resistances.triples);
+  ]
+
+let suite = ("resistances", unit_tests @ property_tests)

@@ -1,0 +1,63 @@
+(* Tests for Richardson extrapolation. *)
+
+module Richardson = Ttsv_numerics.Richardson
+open Helpers
+
+(* synthetic convergence family v(h) = v* + C h^p *)
+let v ~vstar ~c ~p h = vstar +. (c *. (h ** p))
+
+let unit_tests =
+  [
+    test "two_point recovers the exact limit of a pure power law" (fun () ->
+        let f = v ~vstar:36.9 ~c:2.1 ~p:2. in
+        let lim =
+          Richardson.two_point ~order:2. ~h_coarse:0.1 ~v_coarse:(f 0.1) ~h_fine:0.05
+            ~v_fine:(f 0.05)
+        in
+        close_rel ~tol:1e-12 "limit" 36.9 lim);
+    test "first-order law with first-order extrapolation" (fun () ->
+        let f = v ~vstar:10. ~c:(-3.) ~p:1. in
+        let lim =
+          Richardson.two_point ~order:1. ~h_coarse:0.2 ~v_coarse:(f 0.2) ~h_fine:0.1
+            ~v_fine:(f 0.1)
+        in
+        close_rel ~tol:1e-12 "limit" 10. lim);
+    test "observed_order recovers the exponent" (fun () ->
+        let f = v ~vstar:5. ~c:1. ~p:1.7 in
+        let p =
+          Richardson.observed_order ~h1:0.4 ~v1:(f 0.4) ~h2:0.2 ~v2:(f 0.2) ~h3:0.1
+            ~v3:(f 0.1)
+        in
+        close_rel ~tol:1e-9 "order" 1.7 p);
+    test "observed_order rejects non-geometric meshes" (fun () ->
+        check_raises_invalid "family" (fun () ->
+            ignore (Richardson.observed_order ~h1:1. ~v1:3. ~h2:0.5 ~v2:2. ~h3:0.3 ~v3:1.)));
+    test "observed_order rejects non-monotone data" (fun () ->
+        check_raises_invalid "monotone" (fun () ->
+            ignore (Richardson.observed_order ~h1:1. ~v1:1. ~h2:0.5 ~v2:2. ~h3:0.25 ~v3:1.5)));
+    test "two_point validates ordering" (fun () ->
+        check_raises_invalid "h order" (fun () ->
+            ignore (Richardson.two_point ~order:2. ~h_coarse:0.05 ~v_coarse:1. ~h_fine:0.1 ~v_fine:1.)));
+    test "extrapolate_sequence picks the two finest pairs" (fun () ->
+        let f = v ~vstar:(-2.) ~c:0.5 ~p:2. in
+        let pairs = [ (0.4, f 0.4); (0.1, f 0.1); (0.2, f 0.2) ] in
+        close_rel ~tol:1e-12 "limit" (-2.) (Richardson.extrapolate_sequence ~order:2. pairs));
+    test "extrapolate_sequence needs two pairs" (fun () ->
+        check_raises_invalid "pairs" (fun () ->
+            ignore (Richardson.extrapolate_sequence ~order:1. [ (0.1, 1.) ])));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:50 "exact for random power laws"
+      QCheck2.Gen.(triple (float_range (-10.) 10.) (float_range 0.1 5.) (float_range 0.5 3.))
+      (fun (vstar, c, p) ->
+        let f = v ~vstar ~c ~p in
+        let lim =
+          Richardson.two_point ~order:p ~h_coarse:0.2 ~v_coarse:(f 0.2) ~h_fine:0.1
+            ~v_fine:(f 0.1)
+        in
+        Float.abs (lim -. vstar) < 1e-9 *. Float.max 1. (Float.abs vstar));
+  ]
+
+let suite = ("richardson", unit_tests @ property_tests)

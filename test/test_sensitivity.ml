@@ -1,0 +1,45 @@
+(* Tests for the sensitivity experiment: signs and model/FV agreement. *)
+
+module Sensitivity = Ttsv_experiments.Sensitivity
+open Helpers
+
+let rows = lazy (Sensitivity.sensitivities ~resolution:1 ())
+
+let find p =
+  let _, a, b, fv = List.find (fun (q, _, _, _) -> q = p) (Lazy.force rows) in
+  (a, b, fv)
+
+let sign_tests =
+  [
+    test "radius cools (negative S) in every solver" (fun () ->
+        let a, b, fv = find Sensitivity.Radius in
+        Alcotest.(check bool) "all negative" true (a < 0. && b < 0. && fv < 0.));
+    test "liner thickness heats (positive S)" (fun () ->
+        let a, b, fv = find Sensitivity.Liner in
+        Alcotest.(check bool) "all positive" true (a > 0. && b > 0. && fv > 0.));
+    test "ILD thickness heats and dominates the liner" (fun () ->
+        let a, _, fv = find Sensitivity.Ild in
+        let a_liner, _, fv_liner = find Sensitivity.Liner in
+        Alcotest.(check bool) "positive" true (a > 0. && fv > 0.);
+        Alcotest.(check bool) "dominant" true (a > a_liner && fv > fv_liner));
+    test "filler conductivity cools" (fun () ->
+        let a, b, fv = find Sensitivity.Filler_k in
+        Alcotest.(check bool) "all negative" true (a < 0. && b < 0. && fv < 0.));
+    test "liner conductivity cools" (fun () ->
+        let a, _, fv = find Sensitivity.Liner_k in
+        Alcotest.(check bool) "negative" true (a < 0. && fv < 0.));
+    test "models track the FV derivative within 0.15 absolute" (fun () ->
+        List.iter
+          (fun (p, a, b, fv) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: A=%+.3f B=%+.3f FV=%+.3f" (Sensitivity.name p) a b fv)
+              true
+              (Float.abs (a -. fv) < 0.15 && Float.abs (b -. fv) < 0.15))
+          (Lazy.force rows));
+    test "every parameter has a distinct name" (fun () ->
+        let names = List.map Sensitivity.name Sensitivity.all_parameters in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let suite = ("sensitivity", sign_tests)

@@ -1,0 +1,90 @@
+(* Tests for the CSR sparse matrix and its triplet builder. *)
+
+module Sparse = Ttsv_numerics.Sparse
+module Dense = Ttsv_numerics.Dense
+module Vec = Ttsv_numerics.Vec
+open Helpers
+
+let unit_tests =
+  [
+    test "duplicates are summed" (fun () ->
+        let b = Sparse.builder 2 2 in
+        Sparse.add b 0 1 2.;
+        Sparse.add b 0 1 3.;
+        let m = Sparse.finalize b in
+        close "summed" 5. (Sparse.get m 0 1);
+        Alcotest.(check int) "one stored entry" 1 (Sparse.nnz m));
+    test "out-of-range add raises" (fun () ->
+        let b = Sparse.builder 2 2 in
+        check_raises_invalid "row" (fun () -> Sparse.add b 2 0 1.);
+        check_raises_invalid "col" (fun () -> Sparse.add b 0 (-1) 1.));
+    test "empty matrix" (fun () ->
+        let m = Sparse.finalize (Sparse.builder 3 3) in
+        Alcotest.(check int) "nnz" 0 (Sparse.nnz m);
+        close "getsz" 0. (Sparse.get m 1 1);
+        let y = Sparse.mat_vec m [| 1.; 2.; 3. |] in
+        close "mv" 0. (Vec.norm_inf y));
+    test "mat_vec hand computed" (fun () ->
+        let b = Sparse.builder 2 3 in
+        Sparse.add b 0 0 1.;
+        Sparse.add b 0 2 2.;
+        Sparse.add b 1 1 3.;
+        let m = Sparse.finalize b in
+        let y = Sparse.mat_vec m [| 1.; 1.; 1. |] in
+        close "y0" 3. y.(0);
+        close "y1" 3. y.(1));
+    test "diagonal extraction" (fun () ->
+        let b = Sparse.builder 3 3 in
+        Sparse.add b 0 0 4.;
+        Sparse.add b 2 2 9.;
+        Sparse.add b 0 1 7.;
+        let d = Sparse.diagonal (Sparse.finalize b) in
+        close "d0" 4. d.(0);
+        close "d1" 0. d.(1);
+        close "d2" 9. d.(2));
+    test "builder growth beyond hint" (fun () ->
+        let b = Sparse.builder ~hint:1 4 4 in
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            Sparse.add b i j (float_of_int ((i * 4) + j))
+          done
+        done;
+        let m = Sparse.finalize b in
+        Alcotest.(check int) "nnz" 16 (Sparse.nnz m);
+        close "last" 15. (Sparse.get m 3 3));
+    test "transpose hand computed" (fun () ->
+        let b = Sparse.builder 2 3 in
+        Sparse.add b 0 2 5.;
+        Sparse.add b 1 0 7.;
+        let t = Sparse.transpose (Sparse.finalize b) in
+        Alcotest.(check int) "rows" 3 (Sparse.rows t);
+        close "t20" 5. (Sparse.get t 2 0);
+        close "t01" 7. (Sparse.get t 0 1));
+    test "is_symmetric detects asymmetry" (fun () ->
+        let b = Sparse.builder 2 2 in
+        Sparse.add b 0 1 1.;
+        Alcotest.(check bool) "asym" false (Sparse.is_symmetric (Sparse.finalize b)));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:40 "mat_vec agrees with dense mat_vec"
+      QCheck2.Gen.(gen_spd 10 >>= fun m -> gen_vec 10 >|= fun x -> (m, x))
+      (fun (m, x) ->
+        Vec.approx_equal ~rtol:1e-12 ~atol:1e-12 (Sparse.mat_vec m x)
+          (Dense.mat_vec (Sparse.to_dense m) x));
+    qtest ~count:40 "of_dense/to_dense roundtrip" (gen_diag_dominant 7) (fun d ->
+        Dense.approx_equal (Sparse.to_dense (Sparse.of_dense d)) d);
+    qtest ~count:40 "transpose is involutive" (gen_spd 9) (fun m ->
+        let tt = Sparse.transpose (Sparse.transpose m) in
+        Dense.approx_equal (Sparse.to_dense tt) (Sparse.to_dense m));
+    qtest ~count:40 "generated conductance matrices are symmetric" (gen_spd 12)
+      Sparse.is_symmetric;
+    qtest ~count:40 "get matches dense entry"
+      QCheck2.Gen.(
+        gen_spd 6 >>= fun m ->
+        pair (int_range 0 5) (int_range 0 5) >|= fun (i, j) -> (m, i, j))
+      (fun (m, i, j) -> Float.abs (Sparse.get m i j -. Dense.get (Sparse.to_dense m) i j) = 0.);
+  ]
+
+let suite = ("sparse", unit_tests @ property_tests)

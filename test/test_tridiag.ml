@@ -1,0 +1,60 @@
+(* Tests for the Thomas-algorithm tridiagonal solver. *)
+
+module Tridiag = Ttsv_numerics.Tridiag
+module Dense = Ttsv_numerics.Dense
+module Vec = Ttsv_numerics.Vec
+open Helpers
+
+let gen_system n =
+  let open QCheck2.Gen in
+  let* diag_mag = array_size (return n) (float_range 3. 10.) in
+  let* lower = array_size (return (n - 1)) (float_range (-1.) 1.) in
+  let* upper = array_size (return (n - 1)) (float_range (-1.) 1.) in
+  let* b = gen_vec n in
+  return (Tridiag.create ~lower ~diag:diag_mag ~upper, b)
+
+let unit_tests =
+  [
+    test "1x1 system" (fun () ->
+        let sys = Tridiag.create ~lower:[||] ~diag:[| 4. |] ~upper:[||] in
+        close "x" 2. (Tridiag.solve sys [| 8. |]).(0));
+    test "hand-computed 3x3" (fun () ->
+        (* [2 -1 0; -1 2 -1; 0 -1 2] x = [1;0;1] -> x = [1;1;1] *)
+        let sys =
+          Tridiag.create ~lower:[| -1.; -1. |] ~diag:[| 2.; 2.; 2. |] ~upper:[| -1.; -1. |]
+        in
+        let x = Tridiag.solve sys [| 1.; 0.; 1. |] in
+        Array.iter (fun xi -> close "xi" 1. xi) x);
+    test "length validation" (fun () ->
+        check_raises_invalid "lengths" (fun () ->
+            Tridiag.create ~lower:[| 1. |] ~diag:[| 1. |] ~upper:[||]));
+    test "rhs dimension mismatch" (fun () ->
+        let sys = Tridiag.create ~lower:[||] ~diag:[| 1. |] ~upper:[||] in
+        check_raises_invalid "rhs" (fun () -> Tridiag.solve sys [| 1.; 2. |]));
+    test "zero pivot raises Singular" (fun () ->
+        let sys = Tridiag.create ~lower:[||] ~diag:[| 0. |] ~upper:[||] in
+        Alcotest.check_raises "singular" Dense.Singular (fun () ->
+            ignore (Tridiag.solve sys [| 1. |])));
+    test "to_dense layout" (fun () ->
+        let sys = Tridiag.create ~lower:[| 7. |] ~diag:[| 1.; 2. |] ~upper:[| 9. |] in
+        let d = Tridiag.to_dense sys in
+        close "lower" 7. (Dense.get d 1 0);
+        close "upper" 9. (Dense.get d 0 1);
+        close "diag" 2. (Dense.get d 1 1));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:60 "solve matches dense LU" (gen_system 9) (fun (sys, b) ->
+        let x1 = Tridiag.solve sys b in
+        let x2 = Dense.solve (Tridiag.to_dense sys) b in
+        Vec.approx_equal ~rtol:1e-8 ~atol:1e-10 x1 x2);
+    qtest ~count:60 "mat_vec of solution reproduces rhs" (gen_system 12) (fun (sys, b) ->
+        let x = Tridiag.solve sys b in
+        Vec.norm_inf (Vec.sub (Tridiag.mat_vec sys x) b) < 1e-8);
+    qtest ~count:40 "mat_vec matches dense product" (gen_system 7) (fun (sys, b) ->
+        Vec.approx_equal ~rtol:1e-10 ~atol:1e-12 (Tridiag.mat_vec sys b)
+          (Dense.mat_vec (Tridiag.to_dense sys) b));
+  ]
+
+let suite = ("tridiag", unit_tests @ property_tests)

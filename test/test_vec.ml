@@ -1,0 +1,82 @@
+(* Unit and property tests for Ttsv_numerics.Vec. *)
+
+module Vec = Ttsv_numerics.Vec
+open Helpers
+
+let unit_tests =
+  [
+    test "create fills" (fun () ->
+        let v = Vec.create 4 2.5 in
+        Array.iter (fun x -> close "fill" 2.5 x) v);
+    test "zeros" (fun () -> close "sum of zeros" 0. (Vec.sum (Vec.zeros 10)));
+    test "init" (fun () ->
+        let v = Vec.init 5 float_of_int in
+        close "init sum" 10. (Vec.sum v));
+    test "dot hand computed" (fun () ->
+        close "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]));
+    test "dot dimension mismatch" (fun () ->
+        check_raises_invalid "dot" (fun () -> Vec.dot [| 1. |] [| 1.; 2. |]));
+    test "norm2 of 3-4-5" (fun () -> close "norm" 5. (Vec.norm2 [| 3.; 4. |]));
+    test "norm_inf" (fun () -> close "ninf" 7. (Vec.norm_inf [| -7.; 3.; 2. |]));
+    test "norm1" (fun () -> close "n1" 12. (Vec.norm1 [| -7.; 3.; 2. |]));
+    test "add sub" (fun () ->
+        let x = [| 1.; 2. |] and y = [| 10.; 20. |] in
+        close "add" 11. (Vec.add x y).(0);
+        close "sub" (-9.) (Vec.sub x y).(0));
+    test "axpy in place" (fun () ->
+        let y = [| 1.; 1. |] in
+        Vec.axpy 2. [| 3.; 4. |] y;
+        close "axpy0" 7. y.(0);
+        close "axpy1" 9. y.(1));
+    test "scale_in_place" (fun () ->
+        let x = [| 2.; -4. |] in
+        Vec.scale_in_place 0.5 x;
+        close "s0" 1. x.(0);
+        close "s1" (-2.) x.(1));
+    test "map2" (fun () ->
+        let v = Vec.map2 ( *. ) [| 2.; 3. |] [| 4.; 5. |] in
+        close "map2" 8. v.(0);
+        close "map2b" 15. v.(1));
+    test "max min argmax" (fun () ->
+        let v = [| 3.; -1.; 9.; 2. |] in
+        close "max" 9. (Vec.max_elt v);
+        close "min" (-1.) (Vec.min_elt v);
+        Alcotest.(check int) "argmax" 2 (Vec.argmax v));
+    test "max_elt empty raises" (fun () ->
+        check_raises_invalid "max" (fun () -> Vec.max_elt [||]));
+    test "mean" (fun () -> close "mean" 2. (Vec.mean [| 1.; 2.; 3. |]));
+    test "linspace endpoints and spacing" (fun () ->
+        let v = Vec.linspace 0. 1. 5 in
+        close "first" 0. v.(0);
+        close "last" 1. v.(4);
+        close "step" 0.25 (v.(1) -. v.(0)));
+    test "linspace needs 2 points" (fun () ->
+        check_raises_invalid "linspace" (fun () -> Vec.linspace 0. 1. 1));
+    test "approx_equal tolerances" (fun () ->
+        Alcotest.(check bool) "close" true (Vec.approx_equal ~rtol:1e-3 [| 1.0001 |] [| 1. |]);
+        Alcotest.(check bool) "far" false (Vec.approx_equal ~rtol:1e-6 [| 1.01 |] [| 1. |]));
+    test "of_list to_list roundtrip" (fun () ->
+        Alcotest.(check (list (float 0.))) "roundtrip" [ 1.; 2. ] (Vec.to_list (Vec.of_list [ 1.; 2. ])));
+  ]
+
+let property_tests =
+  [
+    qtest "dot is symmetric" QCheck2.Gen.(pair (gen_vec 8) (gen_vec 8)) (fun (x, y) ->
+        Float.abs (Vec.dot x y -. Vec.dot y x) < 1e-9);
+    qtest "cauchy-schwarz" QCheck2.Gen.(pair (gen_vec 8) (gen_vec 8)) (fun (x, y) ->
+        Float.abs (Vec.dot x y) <= (Vec.norm2 x *. Vec.norm2 y) +. 1e-9);
+    qtest "triangle inequality" QCheck2.Gen.(pair (gen_vec 8) (gen_vec 8)) (fun (x, y) ->
+        Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9);
+    qtest "norm ordering ninf <= n2 <= n1" (gen_vec 10) (fun x ->
+        let a = Vec.norm_inf x and b = Vec.norm2 x and c = Vec.norm1 x in
+        a <= b +. 1e-9 && b <= c +. 1e-9);
+    qtest "scale distributes over sum" (gen_vec 6) (fun x ->
+        Float.abs (Vec.sum (Vec.scale 3. x) -. (3. *. Vec.sum x)) < 1e-8);
+    qtest "sub self is zero" (gen_vec 6) (fun x ->
+        Vec.norm_inf (Vec.sub x x) = 0.);
+    qtest "mean bounded by extremes" (gen_vec 9) (fun x ->
+        let m = Vec.mean x in
+        Vec.min_elt x -. 1e-12 <= m && m <= Vec.max_elt x +. 1e-12);
+  ]
+
+let suite = ("vec", unit_tests @ property_tests)
