@@ -23,6 +23,8 @@ module Transient = Ttsv_core.Transient
 module Calibrate = Ttsv_core.Calibrate
 module Problem = Ttsv_fem.Problem
 module Solver = Ttsv_fem.Solver
+module Validate = Ttsv_robust.Validate
+module Diagnostics = Ttsv_robust.Diagnostics
 module E = Ttsv_experiments
 open Cmdliner
 
@@ -39,13 +41,17 @@ let tsi_t = um_arg ~doc:"substrate thickness of the upper planes" ~default:45. "
 let tsi1_t = um_arg ~doc:"substrate thickness of the first plane" ~default:500. "tsi1"
 let lext_t = um_arg ~doc:"TSV extension into the first substrate" ~default:1. "lext"
 
+(* every geometry flag is untrusted input: run it through the accumulating
+   validator so the user sees ALL the problems at once, not just the first *)
 let stack_t =
   let build r t_liner t_ild t_bond t_si t_si1 l_ext =
-    Params.block ~r:(Units.um r) ~t_liner:(Units.um t_liner) ~t_ild:(Units.um t_ild)
-      ~t_bond:(Units.um t_bond) ~t_si23:(Units.um t_si) ~t_si1:(Units.um t_si1)
-      ~l_ext:(Units.um l_ext) ()
+    Params.block_checked ~r:(Units.um r) ~t_liner:(Units.um t_liner)
+      ~t_ild:(Units.um t_ild) ~t_bond:(Units.um t_bond) ~t_si23:(Units.um t_si)
+      ~t_si1:(Units.um t_si1) ~l_ext:(Units.um l_ext) ()
+    |> Result.map_error (fun violations -> `Msg (Validate.to_string violations))
   in
-  Term.(const build $ radius_t $ liner_t $ ild_t $ bond_t $ tsi_t $ tsi1_t $ lext_t)
+  Term.term_result
+    Term.(const build $ radius_t $ liner_t $ ild_t $ bond_t $ tsi_t $ tsi1_t $ lext_t)
 
 let k1_t = Arg.(value & opt float 1.3 & info [ "k1" ] ~doc:"Model A vertical fitting coefficient")
 let k2_t = Arg.(value & opt float 0.55 & info [ "k2" ] ~doc:"Model A lateral fitting coefficient")
@@ -68,7 +74,7 @@ let model_t =
 
 let print_rise label dt = Format.printf "%-14s max dT = %6.3f K@." label dt
 
-let run_model stack coeffs segments resolution = function
+let run_model ~solver_report stack coeffs segments resolution = function
   | `A -> print_rise "Model A" (Model_a.max_rise (Model_a.solve ~coeffs stack))
   | `B ->
     print_rise
@@ -77,7 +83,17 @@ let run_model stack coeffs segments resolution = function
   | `One_d -> print_rise "Model 1D" (Model_1d.max_rise (Model_1d.solve stack))
   | `Fv ->
     let res = Solver.solve (Problem.of_stack ~resolution stack) in
-    print_rise "FV reference" (Solver.max_rise res)
+    print_rise "FV reference" (Solver.max_rise res);
+    if solver_report then
+      Format.printf "@[<v 2>solver report:@,%a@]@." Diagnostics.pp res.Solver.diagnostics
+
+let solver_report_t =
+  Arg.(
+    value & flag
+    & info [ "solver-report" ]
+        ~doc:
+          "print the linear-solver diagnostics of the FV reference: which escalation rungs \
+           ran, iteration counts, residuals and wall time")
 
 let ambient_t =
   Arg.(value & opt float 25. & info [ "ambient" ] ~doc:"ambient temperature [°C]")
@@ -89,13 +105,17 @@ let r_package_t =
     & info [ "r-package" ] ~doc:"sink-to-ambient package resistance [K/W]")
 
 let solve_cmd =
-  let run stack coeffs segments resolution model ambient r_package =
+  let run stack coeffs segments resolution model ambient r_package solver_report =
     let qs = Stack.heat_inputs stack in
     Format.printf "unit cell: %a@." Stack.pp stack;
     Array.iteri (fun i q -> Format.printf "q%d = %.4g W@." (i + 1) q) qs;
     (match model with
-    | `All -> List.iter (run_model stack coeffs segments resolution) [ `A; `B; `One_d; `Fv ]
-    | (`A | `B | `One_d | `Fv) as m -> run_model stack coeffs segments resolution m);
+    | `All ->
+      List.iter
+        (run_model ~solver_report stack coeffs segments resolution)
+        [ `A; `B; `One_d; `Fv ]
+    | (`A | `B | `One_d | `Fv) as m ->
+      run_model ~solver_report stack coeffs segments resolution m);
     let detail = Model_a.solve ~coeffs stack in
     Format.printf "@.Model A nodal rises:@.";
     Format.printf "  T0 (TSV foot) = %6.3f K@." detail.Model_a.t0;
@@ -124,7 +144,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ model_t $ ambient_t
-      $ r_package_t)
+      $ r_package_t $ solver_report_t)
 
 (* ------------------------------------------------------------------- sweep *)
 

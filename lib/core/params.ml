@@ -26,6 +26,16 @@ let block ?(r = Units.um 5.) ?(t_liner = Units.um 1.) ?(t_ild = Units.um 4.)
       ]
     ~tsv ()
 
+let block_checked ?(r = Units.um 5.) ?(t_liner = Units.um 1.) ?(t_ild = Units.um 4.)
+    ?(t_bond = Units.um 1.) ?(t_si23 = Units.um 45.) ?(t_si1 = Units.um 500.)
+    ?(l_ext = Units.um 1.) () =
+  match
+    Ttsv_robust.Validate.block ~r ~t_liner ~t_ild ~t_bond ~t_si23 ~t_si1 ~l_ext
+      ~t_device:device_layer_thickness ~footprint:footprint_block
+  with
+  | [] -> Ok (block ~r ~t_liner ~t_ild ~t_bond ~t_si23 ~t_si1 ~l_ext ())
+  | violations -> Error violations
+
 let fig4_stack r =
   let t_si23 = if r <= Units.um 5. then Units.um 5. else Units.um 45. in
   block ~r ~t_liner:(Units.um 0.5) ~t_ild:(Units.um 4.) ~t_bond:(Units.um 1.) ~t_si23 ()

@@ -35,6 +35,21 @@ val block :
     t_liner = 1 µm, t_ild = 4 µm, t_bond = 1 µm, t_si23 = 45 µm,
     t_si1 = 500 µm, l_ext = 1 µm. *)
 
+val block_checked :
+  ?r:float ->
+  ?t_liner:float ->
+  ?t_ild:float ->
+  ?t_bond:float ->
+  ?t_si23:float ->
+  ?t_si1:float ->
+  ?l_ext:float ->
+  unit ->
+  (Ttsv_geometry.Stack.t, Ttsv_robust.Validate.violation list) result
+(** Like {!block}, but every constraint is checked through
+    {!Ttsv_robust.Validate} first and {e all} violations are returned at
+    once instead of dying on the first [Invalid_argument] — the entry
+    point for the CLI and batch sweep drivers facing untrusted input. *)
+
 val fig4_stack : float -> Ttsv_geometry.Stack.t
 (** [fig4_stack r] is the Fig. 4 geometry for TTSV radius [r]:
     t_L = 0.5 µm, t_D = 4 µm, t_b = 1 µm, and the paper's aspect-ratio

@@ -27,7 +27,7 @@ let fv_pair ?(resolution = 2) stack =
   let linear = Solver.max_rise (Solver.solve problem) in
   let materials = Problem.materials_of_stack ~resolution stack in
   let res, sweeps =
-    Solver.solve_nonlinear ~materials ~sink_temperature_k:sink_k problem
+    Solver.solve_nonlinear_exn ~materials ~sink_temperature_k:sink_k problem
   in
   (linear, Solver.max_rise res, sweeps)
 

@@ -1,8 +1,17 @@
 module Grid = Grid
 module Sparse = Ttsv_numerics.Sparse
 module Iterative = Ttsv_numerics.Iterative
+module Robust = Ttsv_robust.Robust
+module Diagnostics = Ttsv_robust.Diagnostics
+module Validate = Ttsv_robust.Validate
 
-type result = { problem : Problem.t; temps : float array; iterations : int; residual : float }
+type result = {
+  problem : Problem.t;
+  temps : float array;
+  iterations : int;
+  residual : float;
+  diagnostics : Diagnostics.t;
+}
 
 (* Series (harmonic) combination of the two half-cell conductances across an
    internal face of area [a]. *)
@@ -60,18 +69,51 @@ let assemble ?bottom_h ?extra_diagonal (p : Problem.t) =
     Array.iteri (fun i x -> Sparse.add b i i x) d);
   Sparse.finalize b
 
-let solve ?(tol = 1e-10) ?max_iter ?bottom_h p =
-  let matrix = assemble ?bottom_h p in
-  let n = Sparse.rows matrix in
-  let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
-  let r = Iterative.cg ~tol ~max_iter matrix p.Problem.source in
-  if not r.Iterative.converged then raise (Iterative.Not_converged r);
+(* Reject physically meaningless fields before assembling: a single NaN
+   conductivity or source poisons the whole system. *)
+let check_problem (p : Problem.t) =
+  let bad name arr pred =
+    match Array.exists (fun v -> not (pred v)) arr with
+    | false -> []
+    | true ->
+      let i = ref 0 in
+      Array.iteri (fun j v -> if not (pred v) && !i = 0 then i := j) arr;
+      [ Printf.sprintf "%s contains invalid entries (first at cell %d)" name !i ]
+  in
+  bad "conductivity field" p.Problem.conductivity (fun k -> Float.is_finite k && k > 0.)
+  @ bad "source field" p.Problem.source Float.is_finite
+
+let invalid_input problems =
   {
-    problem = p;
-    temps = r.Iterative.solution;
-    iterations = r.Iterative.iterations;
-    residual = r.Iterative.residual;
+    Robust.reason = Robust.Invalid_input problems;
+    diagnostics = Diagnostics.empty;
+    best = None;
+    best_residual = Float.nan;
   }
+
+let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate p =
+  match check_problem p with
+  | _ :: _ as problems -> Error (invalid_input problems)
+  | [] -> (
+    let matrix = assemble ?bottom_h p in
+    let n = Sparse.rows matrix in
+    let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
+    match Robust.solve ~tol ~max_iter ?on_iterate matrix p.Problem.source with
+    | Error f -> Error f
+    | Ok (x, d) ->
+      Ok
+        {
+          problem = p;
+          temps = x;
+          iterations = d.Diagnostics.iterations;
+          residual = d.Diagnostics.residual;
+          diagnostics = d;
+        })
+
+let solve ?tol ?max_iter ?bottom_h ?on_iterate p =
+  match try_solve ?tol ?max_iter ?bottom_h ?on_iterate p with
+  | Ok r -> r
+  | Error f -> raise (Robust.Solve_failed f)
 
 let max_rise r = Array.fold_left Float.max 0. r.temps
 
@@ -100,49 +142,96 @@ let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ~materials ~
   let maxes = Array.make (steps + 1) 0. in
   let temps = ref (Array.make n 0.) in
   let total_iters = ref 0 in
+  let last_diag = ref Diagnostics.empty in
   for m = 1 to steps do
     let time = float_of_int m *. dt in
     let scale = power time in
     let rhs =
       Array.init n (fun i -> (p.Problem.source.(i) *. scale) +. (cdt.(i) *. !temps.(i)))
     in
-    let r = Iterative.cg ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps system rhs in
-    if not r.Iterative.converged then raise (Iterative.Not_converged r);
-    temps := r.Iterative.solution;
-    total_iters := !total_iters + r.Iterative.iterations;
+    let x, d =
+      Robust.solve_exn ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps system rhs
+    in
+    temps := x;
+    total_iters := !total_iters + d.Diagnostics.iterations;
+    last_diag := d;
     times.(m) <- time;
     maxes.(m) <- Array.fold_left Float.max 0. !temps
   done;
   {
     times;
     max_rises = maxes;
-    final = { problem = p; temps = !temps; iterations = !total_iters; residual = 0. };
+    final =
+      {
+        problem = p;
+        temps = !temps;
+        iterations = !total_iters;
+        residual = !last_diag.Diagnostics.residual;
+        diagnostics = !last_diag;
+      };
   }
 
-let solve_nonlinear ?tol ?(picard_tol = 1e-4) ?(max_picard = 50) ~materials
-    ~sink_temperature_k p =
+type picard_failure = { sweeps : int; damping : float; change : float; last : result }
+
+exception Picard_failed of picard_failure
+
+let default_dampings = [ 1.; 0.5; 0.25 ]
+
+let solve_nonlinear ?tol ?(picard_tol = 1e-4) ?(max_picard = 50) ?(dampings = default_dampings)
+    ~materials ~sink_temperature_k p =
   let n = Array.length p.Problem.conductivity in
   if Array.length materials <> n then
     invalid_arg "Solver.solve_nonlinear: materials length mismatch";
+  if dampings = [] then invalid_arg "Solver.solve_nonlinear: dampings must be nonempty";
+  List.iter
+    (fun d ->
+      if not (Float.is_finite d) || d <= 0. || d > 1. then
+        invalid_arg "Solver.solve_nonlinear: damping factors must lie in (0, 1]")
+    dampings;
   let module Material = Ttsv_physics.Material in
-  let rec picard sweep problem prev_max =
-    let res = solve ?tol problem in
-    let m = max_rise res in
-    if Float.abs (m -. prev_max) <= picard_tol *. Float.max m 1e-12 then (res, sweep)
-    else if sweep >= max_picard then
-      failwith "Solver.solve_nonlinear: Picard iteration did not settle"
-    else begin
-      let conductivity =
-        Array.init n (fun i ->
-            Material.k_at materials.(i) (sink_temperature_k +. res.temps.(i)))
+  (* One Picard attempt at a fixed damping: each sweep relaxes the
+     conductivity field toward k(T of the last solve) by [theta]. *)
+  let attempt theta =
+    let rec picard sweep conductivity prev_max =
+      let problem =
+        if sweep = 1 then p
+        else Problem.make ~grid:p.Problem.grid ~conductivity ~source:p.Problem.source
       in
-      picard (sweep + 1)
-        (Problem.make ~grid:problem.Problem.grid ~conductivity
-           ~source:problem.Problem.source)
-        m
-    end
+      let res = solve ?tol problem in
+      let m = max_rise res in
+      let change = Float.abs (m -. prev_max) /. Float.max m 1e-12 in
+      if Float.abs (m -. prev_max) <= picard_tol *. Float.max m 1e-12 then Ok (res, sweep)
+      else if sweep >= max_picard then Error (res, change, sweep)
+      else begin
+        let next =
+          Array.init n (fun i ->
+              let target =
+                Material.k_at materials.(i) (sink_temperature_k +. res.temps.(i))
+              in
+              ((1. -. theta) *. conductivity.(i)) +. (theta *. target))
+        in
+        picard (sweep + 1) next m
+      end
+    in
+    picard 1 (Array.copy p.Problem.conductivity) Float.neg_infinity
   in
-  picard 1 p Float.neg_infinity
+  let rec escalate = function
+    | [] -> assert false
+    | theta :: rest -> (
+      match attempt theta with
+      | Ok r -> Ok r
+      | Error (last, change, sweeps) ->
+        if rest = [] then Error { sweeps; damping = theta; change; last } else escalate rest)
+  in
+  escalate dampings
+
+let solve_nonlinear_exn ?tol ?picard_tol ?max_picard ?dampings ~materials ~sink_temperature_k
+    p =
+  match
+    solve_nonlinear ?tol ?picard_tol ?max_picard ?dampings ~materials ~sink_temperature_k p
+  with
+  | Ok r -> r
+  | Error f -> raise (Picard_failed f)
 
 let find_cell faces x =
   let n = Array.length faces - 1 in

@@ -7,23 +7,46 @@
     interface in this library is meshed).  The bottom boundary is an
     isothermal sink at rise 0; all other boundaries are adiabatic.
 
-    The assembled conductance matrix is symmetric positive definite and
-    is solved with Jacobi-preconditioned conjugate gradients. *)
+    The assembled conductance matrix is solved through the
+    {!Ttsv_robust.Robust} escalation ladder (CG, then BiCGStab, then a
+    direct fallback); every result carries the ladder's
+    {!Ttsv_robust.Diagnostics.t} and every failure is a typed value or
+    typed exception — never a bare [Failure]. *)
 
 type result = {
   problem : Problem.t;
   temps : float array;  (** per-cell temperature rise above the sink, K *)
-  iterations : int;  (** CG iterations used *)
+  iterations : int;  (** total linear iterations used *)
   residual : float;  (** final relative residual *)
+  diagnostics : Ttsv_robust.Diagnostics.t;  (** which solver rungs fired and why *)
 }
 
-val solve : ?tol:float -> ?max_iter:int -> ?bottom_h:float -> Problem.t -> result
-(** [solve p] assembles and solves.  [tol] defaults to [1e-10].
+val try_solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?bottom_h:float ->
+  ?on_iterate:(int -> float -> unit) ->
+  Problem.t ->
+  (result, Ttsv_robust.Robust.failure) Stdlib.result
+(** [try_solve p] assembles and solves, escalating through the
+    {!Ttsv_robust.Robust} ladder.  [tol] defaults to [1e-10].
     [bottom_h], when given, replaces the isothermal sink with a
     convective boundary of that heat-transfer coefficient (W/(m²·K)) to
     a 0-rise coolant — the package-level boundary §II mentions; rises
-    are then above the coolant, not the die surface.
-    Raises {!Ttsv_numerics.Iterative.Not_converged} when CG fails. *)
+    are then above the coolant, not the die surface.  [on_iterate]
+    observes every linear iteration.  Non-finite or non-positive
+    conductivities and non-finite sources are rejected up front as
+    [Invalid_input]. *)
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?bottom_h:float ->
+  ?on_iterate:(int -> float -> unit) ->
+  Problem.t ->
+  result
+(** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}
+    (carrying the full diagnostics) when every rung fails. *)
 
 type transient = {
   times : float array;  (** sample instants, s *)
@@ -46,28 +69,55 @@ val solve_transient :
     validate its lumped capacitances.  Cell capacities are volume ×
     the material's volumetric heat capacity ([materials] from
     {!Problem.materials_of_stack}).  [power] scales the source over
-    time (default constant 1).  Each step solves (G + C/Δt) by CG
-    warm-started from the previous instant. *)
+    time (default constant 1).  Each step solves (G + C/Δt) through the
+    escalation ladder, warm-started from the previous instant.  Raises
+    {!Ttsv_robust.Robust.Solve_failed} when a step cannot be solved. *)
+
+type picard_failure = {
+  sweeps : int;  (** sweeps spent in the last (most damped) attempt *)
+  damping : float;  (** the damping factor of that attempt *)
+  change : float;  (** last relative change of the maximum rise *)
+  last : result;  (** the last iterate, residual attached *)
+}
+(** Everything known when the Picard iteration gives up. *)
+
+exception Picard_failed of picard_failure
 
 val solve_nonlinear :
   ?tol:float ->
   ?picard_tol:float ->
   ?max_picard:int ->
+  ?dampings:float list ->
+  materials:Ttsv_physics.Material.t array ->
+  sink_temperature_k:float ->
+  Problem.t ->
+  (result * int, picard_failure) Stdlib.result
+(** [solve_nonlinear ~materials ~sink_temperature_k p] solves with
+    temperature-dependent conductivities by damped Picard iteration:
+    solve with the current k field, relax every cell's conductivity
+    toward {!Ttsv_physics.Material.k_at} at its absolute temperature
+    ([sink_temperature_k] + rise) by the current damping factor, repeat
+    until the maximum rise changes by less than [picard_tol] (default
+    1e-4 relative; [max_picard] defaults to 50 sweeps per attempt).
+    Attempts run through [dampings] (default [[1.; 0.5; 0.25]]): plain
+    Picard first, then progressively damped retries before giving up.
+    Returns [Ok (result, sweeps)] with the sweeps of the successful
+    attempt, or [Error] carrying the last iterate and residual.
+    [materials] comes from {!Problem.materials_of_stack}
+    (length-checked, [Invalid_argument]).  With temperature-independent
+    materials this returns after the second sweep with the linear
+    solution. *)
+
+val solve_nonlinear_exn :
+  ?tol:float ->
+  ?picard_tol:float ->
+  ?max_picard:int ->
+  ?dampings:float list ->
   materials:Ttsv_physics.Material.t array ->
   sink_temperature_k:float ->
   Problem.t ->
   result * int
-(** [solve_nonlinear ~materials ~sink_temperature_k p] solves with
-    temperature-dependent conductivities by Picard iteration: solve with
-    the current k field, re-evaluate every cell's {!Ttsv_physics.Material.k_at}
-    at its absolute temperature ([sink_temperature_k] + rise), repeat
-    until the maximum rise changes by less than [picard_tol] (default
-    1e-4 relative; [max_picard] defaults to 50).  Returns the converged
-    result and the number of Picard sweeps.  [materials] comes from
-    {!Problem.materials_of_stack} (length-checked).  With
-    temperature-independent materials this returns after the second
-    sweep with the linear solution.  Raises [Failure] when the Picard
-    loop does not settle. *)
+(** Like {!solve_nonlinear} but raises {!Picard_failed}. *)
 
 val max_rise : result -> float
 (** Largest cell temperature rise — the paper's Max ΔT. *)

@@ -1,7 +1,14 @@
 module Sparse = Ttsv_numerics.Sparse
-module Iterative = Ttsv_numerics.Iterative
+module Robust = Ttsv_robust.Robust
+module Diagnostics = Ttsv_robust.Diagnostics
 
-type result = { problem : Problem3.t; temps : float array; iterations : int; residual : float }
+type result = {
+  problem : Problem3.t;
+  temps : float array;
+  iterations : int;
+  residual : float;
+  diagnostics : Diagnostics.t;
+}
 
 let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
 
@@ -64,18 +71,26 @@ let assemble (p : Problem3.t) =
   done;
   Sparse.finalize b
 
-let solve ?(tol = 1e-9) ?max_iter p =
+let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate p =
   let matrix = assemble p in
   let n = Sparse.rows matrix in
   let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 4000 (10 * n) in
-  let r = Iterative.cg ~tol ~max_iter matrix p.Problem3.source in
-  if not r.Iterative.converged then raise (Iterative.Not_converged r);
-  {
-    problem = p;
-    temps = r.Iterative.solution;
-    iterations = r.Iterative.iterations;
-    residual = r.Iterative.residual;
-  }
+  match Robust.solve ~tol ~max_iter ?on_iterate matrix p.Problem3.source with
+  | Error f -> Error f
+  | Ok (x, d) ->
+    Ok
+      {
+        problem = p;
+        temps = x;
+        iterations = d.Diagnostics.iterations;
+        residual = d.Diagnostics.residual;
+        diagnostics = d;
+      }
+
+let solve ?tol ?max_iter ?on_iterate p =
+  match try_solve ?tol ?max_iter ?on_iterate p with
+  | Ok r -> r
+  | Error f -> raise (Robust.Solve_failed f)
 
 let max_rise r = Array.fold_left Float.max 0. r.temps
 

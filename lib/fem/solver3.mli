@@ -3,18 +3,33 @@
     Same discretization and boundary conditions as the axisymmetric
     {!Solver} — harmonic-mean two-point fluxes, isothermal sink at z = 0,
     adiabatic everywhere else — over the square-cell {!Problem3}
-    geometry; solved with Jacobi-preconditioned conjugate gradients. *)
+    geometry; solved through the {!Ttsv_robust.Robust} escalation
+    ladder. *)
 
 type result = {
   problem : Problem3.t;
   temps : float array;  (** per-cell rise above the sink, K *)
   iterations : int;
   residual : float;
+  diagnostics : Ttsv_robust.Diagnostics.t;
 }
 
-val solve : ?tol:float -> ?max_iter:int -> Problem3.t -> result
-(** [solve p] assembles and solves ([tol] defaults to [1e-9]).
-    Raises {!Ttsv_numerics.Iterative.Not_converged} on failure. *)
+val try_solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?on_iterate:(int -> float -> unit) ->
+  Problem3.t ->
+  (result, Ttsv_robust.Robust.failure) Stdlib.result
+(** [try_solve p] assembles and solves ([tol] defaults to [1e-9]);
+    every failure is a typed {!Ttsv_robust.Robust.failure}. *)
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?on_iterate:(int -> float -> unit) ->
+  Problem3.t ->
+  result
+(** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}. *)
 
 val max_rise : result -> float
 

@@ -1,141 +1,300 @@
-type result = { solution : Vec.t; iterations : int; residual : float; converged : bool }
+type status =
+  | Converged
+  | Iteration_limit
+  | Breakdown of string
+  | Stagnated of int
+  | Diverged of float
+  | Non_finite of string
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual : float;
+  converged : bool;
+  status : status;
+  trace : float array;
+}
 
 exception Not_converged of result
+
+let pp_status ppf = function
+  | Converged -> Format.fprintf ppf "converged"
+  | Iteration_limit -> Format.fprintf ppf "iteration limit reached"
+  | Breakdown what -> Format.fprintf ppf "breakdown (%s)" what
+  | Stagnated k -> Format.fprintf ppf "stagnated (%d iterations without progress)" k
+  | Diverged factor -> Format.fprintf ppf "diverged (residual grew %.3gx)" factor
+  | Non_finite where -> Format.fprintf ppf "non-finite values in %s" where
 
 let norm_b_floor b = Float.max (Vec.norm2 b) 1e-300
 
 let default_max_iter n max_iter =
   match max_iter with Some m -> m | None -> Stdlib.max 100 (10 * n)
 
+let default_stagnation_window = 250
+let default_divergence_factor = 1e4
+
+(* Krylov methods routinely plateau for long stretches before their
+   superlinear phase kicks in (the plateau length tracks the spectrum,
+   not the user's patience), so the default window scales with the
+   iteration budget: give up only after 10 % of the budget passes with
+   no meaningful progress. *)
+let resolve_window max_iter = function
+  | Some w -> w
+  | None -> Stdlib.max default_stagnation_window (max_iter / 10)
+
+(* In-flight health guard shared by every iteration: watches the residual
+   history for NaN/Inf, for growth beyond [growth] times the best residual
+   seen, and for [window] consecutive iterations without a meaningful
+   (0.1 %) improvement over that best.  [best]/[best_iter] are the mutable
+   monitor state. *)
+let guard ~window ~growth best best_iter iter res =
+  if not (Float.is_finite res) then Some (Non_finite "iterates")
+  else if res < 0.999 *. !best then begin
+    best := res;
+    best_iter := iter;
+    None
+  end
+  else if res > growth *. !best then Some (Diverged (res /. !best))
+  else if iter - !best_iter >= window then Some (Stagnated (iter - !best_iter))
+  else None
+
+let notify on_iterate iter res =
+  match on_iterate with Some f -> f iter res | None -> ()
+
+(* Pre-flight scan: a single NaN in the matrix or the right-hand side
+   poisons every inner product, so reject it before spending iterations. *)
+let check_inputs a b =
+  if not (Sparse.all_finite a) then Some "matrix"
+  else if not (Array.for_all Float.is_finite b) then Some "rhs"
+  else None
+
+let rejected n x0 where =
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  {
+    solution = x;
+    iterations = 0;
+    residual = Float.nan;
+    converged = false;
+    status = Non_finite where;
+    trace = [||];
+  }
+
 (* Jacobi-preconditioned conjugate gradients. *)
-let cg ?(tol = 1e-10) ?max_iter ?x0 a b =
+let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
+    ?(divergence_factor = default_divergence_factor) a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.cg: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.cg: rhs dimension mismatch";
-  let max_iter = default_max_iter n max_iter in
-  let d = Sparse.diagonal a in
-  let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
-  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-  let r = Vec.sub b (Sparse.mat_vec a x) in
-  let z = Vec.map2 ( *. ) precond r in
-  let p = Vec.copy z in
-  let nb = norm_b_floor b in
-  let rz = ref (Vec.dot r z) in
-  let res = ref (Vec.norm2 r /. nb) in
-  let iter = ref 0 in
-  let continue_ = ref (!res > tol) in
-  while !continue_ && !iter < max_iter do
-    incr iter;
-    let ap = Sparse.mat_vec a p in
-    let pap = Vec.dot p ap in
-    if Float.abs pap < 1e-300 then continue_ := false
-    else begin
-      let alpha = !rz /. pap in
-      Vec.axpy alpha p x;
-      Vec.axpy (-.alpha) ap r;
-      res := Vec.norm2 r /. nb;
-      if !res <= tol then continue_ := false
+  match check_inputs a b with
+  | Some where -> rejected n x0 where
+  | None ->
+    let max_iter = default_max_iter n max_iter in
+    let stagnation_window = resolve_window max_iter stagnation_window in
+    let d = Sparse.diagonal a in
+    let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
+    let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+    let r = Vec.sub b (Sparse.mat_vec a x) in
+    let z = Vec.map2 ( *. ) precond r in
+    let p = Vec.copy z in
+    let nb = norm_b_floor b in
+    let rz = ref (Vec.dot r z) in
+    let res = ref (Vec.norm2 r /. nb) in
+    let trace = ref [ !res ] in
+    let iter = ref 0 in
+    let best = ref !res and best_iter = ref 0 in
+    let status = ref (if !res <= tol then Some Converged else None) in
+    while !status = None && !iter < max_iter do
+      incr iter;
+      let ap = Sparse.mat_vec a p in
+      let pap = Vec.dot p ap in
+      if Float.abs pap < 1e-300 then status := Some (Breakdown "p.Ap underflow")
       else begin
-        let z' = Vec.map2 ( *. ) precond r in
-        let rz' = Vec.dot r z' in
-        let beta = rz' /. !rz in
-        rz := rz';
-        for i = 0 to n - 1 do
-          p.(i) <- z'.(i) +. (beta *. p.(i))
-        done
+        let alpha = !rz /. pap in
+        Vec.axpy alpha p x;
+        Vec.axpy (-.alpha) ap r;
+        res := Vec.norm2 r /. nb;
+        trace := !res :: !trace;
+        notify on_iterate !iter !res;
+        if !res <= tol then status := Some Converged
+        else begin
+          (match
+             guard ~window:stagnation_window ~growth:divergence_factor best best_iter !iter
+               !res
+           with
+          | Some s -> status := Some s
+          | None -> ());
+          if !status = None then begin
+            let z' = Vec.map2 ( *. ) precond r in
+            let rz' = Vec.dot r z' in
+            let beta = rz' /. !rz in
+            rz := rz';
+            for i = 0 to n - 1 do
+              p.(i) <- z'.(i) +. (beta *. p.(i))
+            done
+          end
+        end
       end
-    end
-  done;
-  { solution = x; iterations = !iter; residual = !res; converged = !res <= tol }
+    done;
+    let status = match !status with Some s -> s | None -> Iteration_limit in
+    (* On any exit that did not just verify [res <= tol] the recurrence
+       residual may have drifted from the truth (most visibly on p.Ap
+       breakdown, where the loop aborts with a stale update); recompute
+       the true residual so [converged] cannot lie. *)
+    let residual =
+      match status with
+      | Converged -> !res
+      | _ -> Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb
+    in
+    let converged = Float.is_finite residual && residual <= tol in
+    {
+      solution = x;
+      iterations = !iter;
+      residual;
+      converged;
+      status = (if converged then Converged else status);
+      trace = Array.of_list (List.rev !trace);
+    }
 
 let cg_exn ?tol ?max_iter ?x0 a b =
   let r = cg ?tol ?max_iter ?x0 a b in
   if r.converged then r.solution else raise (Not_converged r)
 
 (* Jacobi-preconditioned BiCGStab (van der Vorst). *)
-let bicgstab ?(tol = 1e-10) ?max_iter ?x0 a b =
+let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
+    ?(divergence_factor = default_divergence_factor) a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.bicgstab: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.bicgstab: rhs dimension mismatch";
-  let max_iter = default_max_iter n max_iter in
-  let d = Sparse.diagonal a in
-  let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
-  let apply_m v = Vec.map2 ( *. ) precond v in
-  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-  let r = Vec.sub b (Sparse.mat_vec a x) in
-  let r_hat = Vec.copy r in
-  let nb = norm_b_floor b in
-  let rho = ref 1. and alpha = ref 1. and omega = ref 1. in
-  let v = Vec.zeros n and p = Vec.zeros n in
-  let res = ref (Vec.norm2 r /. nb) in
-  let iter = ref 0 in
-  let continue_ = ref (!res > tol) in
-  while !continue_ && !iter < max_iter do
-    incr iter;
-    let rho' = Vec.dot r_hat r in
-    if Float.abs rho' < 1e-300 then continue_ := false
-    else begin
-      let beta = rho' /. !rho *. (!alpha /. !omega) in
-      rho := rho';
-      for i = 0 to n - 1 do
-        p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
-      done;
-      let p_hat = apply_m p in
-      let v' = Sparse.mat_vec a p_hat in
-      Array.blit v' 0 v 0 n;
-      let denom = Vec.dot r_hat v in
-      if Float.abs denom < 1e-300 then continue_ := false
+  match check_inputs a b with
+  | Some where -> rejected n x0 where
+  | None ->
+    let max_iter = default_max_iter n max_iter in
+    let stagnation_window = resolve_window max_iter stagnation_window in
+    let d = Sparse.diagonal a in
+    let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
+    let apply_m v = Vec.map2 ( *. ) precond v in
+    let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+    let r = Vec.sub b (Sparse.mat_vec a x) in
+    let r_hat = Vec.copy r in
+    let nb = norm_b_floor b in
+    let rho = ref 1. and alpha = ref 1. and omega = ref 1. in
+    let v = Vec.zeros n and p = Vec.zeros n in
+    let res = ref (Vec.norm2 r /. nb) in
+    let trace = ref [ !res ] in
+    let iter = ref 0 in
+    let best = ref !res and best_iter = ref 0 in
+    let status = ref (if !res <= tol then Some Converged else None) in
+    while !status = None && !iter < max_iter do
+      incr iter;
+      let rho' = Vec.dot r_hat r in
+      if Float.abs rho' < 1e-300 then status := Some (Breakdown "rho underflow")
       else begin
-        alpha := rho' /. denom;
-        let s = Vec.copy r in
-        Vec.axpy (-. !alpha) v s;
-        if Vec.norm2 s /. nb <= tol then begin
-          Vec.axpy !alpha p_hat x;
-          res := Vec.norm2 s /. nb;
-          continue_ := false
-        end
+        let beta = rho' /. !rho *. (!alpha /. !omega) in
+        rho := rho';
+        for i = 0 to n - 1 do
+          p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+        done;
+        let p_hat = apply_m p in
+        let v' = Sparse.mat_vec a p_hat in
+        Array.blit v' 0 v 0 n;
+        let denom = Vec.dot r_hat v in
+        if Float.abs denom < 1e-300 then status := Some (Breakdown "r_hat.v underflow")
         else begin
-          let s_hat = apply_m s in
-          let t = Sparse.mat_vec a s_hat in
-          let tt = Vec.dot t t in
-          if Float.abs tt < 1e-300 then continue_ := false
-          else begin
-            omega := Vec.dot t s /. tt;
+          alpha := rho' /. denom;
+          let s = Vec.copy r in
+          Vec.axpy (-. !alpha) v s;
+          if Vec.norm2 s /. nb <= tol then begin
             Vec.axpy !alpha p_hat x;
-            Vec.axpy !omega s_hat x;
-            let r' = Vec.copy s in
-            Vec.axpy (-. !omega) t r';
-            Array.blit r' 0 r 0 n;
-            res := Vec.norm2 r /. nb;
-            if !res <= tol then continue_ := false
+            res := Vec.norm2 s /. nb;
+            trace := !res :: !trace;
+            notify on_iterate !iter !res;
+            status := Some Converged
+          end
+          else begin
+            let s_hat = apply_m s in
+            let t = Sparse.mat_vec a s_hat in
+            let tt = Vec.dot t t in
+            if Float.abs tt < 1e-300 then status := Some (Breakdown "t.t underflow")
+            else begin
+              omega := Vec.dot t s /. tt;
+              Vec.axpy !alpha p_hat x;
+              Vec.axpy !omega s_hat x;
+              let r' = Vec.copy s in
+              Vec.axpy (-. !omega) t r';
+              Array.blit r' 0 r 0 n;
+              res := Vec.norm2 r /. nb;
+              trace := !res :: !trace;
+              notify on_iterate !iter !res;
+              if !res <= tol then status := Some Converged
+              else
+                match
+                  guard ~window:stagnation_window ~growth:divergence_factor best best_iter
+                    !iter !res
+                with
+                | Some s -> status := Some s
+                | None -> ()
+            end
           end
         end
       end
-    end
-  done;
-  (* recompute true residual for the report *)
-  let true_res = Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb in
-  { solution = x; iterations = !iter; residual = true_res; converged = true_res <= tol }
+    done;
+    let status = match !status with Some s -> s | None -> Iteration_limit in
+    (* recompute true residual for the report *)
+    let true_res = Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb in
+    let converged = Float.is_finite true_res && true_res <= tol in
+    {
+      solution = x;
+      iterations = !iter;
+      residual = true_res;
+      converged;
+      status = (if converged then Converged else status);
+      trace = Array.of_list (List.rev !trace);
+    }
 
-let stationary name ?(tol = 1e-10) ?max_iter update a b =
+let stationary name ?(tol = 1e-10) ?max_iter ?on_iterate update a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg ("Iterative." ^ name ^ ": matrix not square");
   if Array.length b <> n then invalid_arg ("Iterative." ^ name ^ ": rhs dimension mismatch");
-  let max_iter = default_max_iter n max_iter in
-  let d = Sparse.diagonal a in
-  Array.iter
-    (fun di -> if Float.abs di < 1e-300 then invalid_arg ("Iterative." ^ name ^ ": zero diagonal"))
-    d;
-  let x = Vec.zeros n in
-  let nb = norm_b_floor b in
-  let res = ref (Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb) in
-  let iter = ref 0 in
-  while !res > tol && !iter < max_iter do
-    incr iter;
-    update a b d x;
-    res := Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb
-  done;
-  { solution = x; iterations = !iter; residual = !res; converged = !res <= tol }
+  match check_inputs a b with
+  | Some where -> rejected n None where
+  | None ->
+    let max_iter = default_max_iter n max_iter in
+    let window = resolve_window max_iter None in
+    let d = Sparse.diagonal a in
+    Array.iter
+      (fun di ->
+        if Float.abs di < 1e-300 then invalid_arg ("Iterative." ^ name ^ ": zero diagonal"))
+      d;
+    let x = Vec.zeros n in
+    let nb = norm_b_floor b in
+    let res = ref (Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb) in
+    let trace = ref [ !res ] in
+    let iter = ref 0 in
+    let best = ref !res and best_iter = ref 0 in
+    let status = ref (if !res <= tol then Some Converged else None) in
+    while !status = None && !iter < max_iter do
+      incr iter;
+      update a b d x;
+      res := Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb;
+      trace := !res :: !trace;
+      notify on_iterate !iter !res;
+      if !res <= tol then status := Some Converged
+      else
+        match
+          guard ~window ~growth:default_divergence_factor best best_iter !iter !res
+        with
+        | Some s -> status := Some s
+        | None -> ()
+    done;
+    let status = match !status with Some s -> s | None -> Iteration_limit in
+    {
+      solution = x;
+      iterations = !iter;
+      residual = !res;
+      converged = !res <= tol;
+      status;
+      trace = Array.of_list (List.rev !trace);
+    }
 
 let jacobi ?tol ?max_iter a b =
   let update a b d x =
@@ -146,17 +305,15 @@ let jacobi ?tol ?max_iter a b =
   in
   stationary "jacobi" ?tol ?max_iter update a b
 
-(* A Gauss-Seidel / SOR sweep needs row access; recompute the residual of row
-   i against the *current* x, which mixes old and new values as required. *)
+(* A Gauss-Seidel / SOR sweep recomputes the residual of row i against the
+   *current* x, which mixes old and new values as required.  Only the
+   stored entries of row i are visited, so one sweep is O(nnz), not
+   O(n^2). *)
 let sweep omega a b d x =
   let n = Array.length x in
   for i = 0 to n - 1 do
-    (* row residual with current values *)
     let acc = ref b.(i) in
-    for j = 0 to n - 1 do
-      let v = Sparse.get a i j in
-      if v <> 0. then acc := !acc -. (v *. x.(j))
-    done;
+    Sparse.iter_row a i (fun j v -> acc := !acc -. (v *. x.(j)));
     x.(i) <- x.(i) +. (omega *. !acc /. d.(i))
   done
 

@@ -4,36 +4,86 @@
     conductance matrices; {!cg} (Jacobi-preconditioned conjugate gradients)
     is the work-horse.  {!bicgstab} handles the occasional nonsymmetric
     system, and the stationary methods ({!jacobi}, {!gauss_seidel}, {!sor})
-    exist mainly as slow-but-simple cross-checks in the test suite. *)
+    exist mainly as slow-but-simple cross-checks in the test suite.
+
+    Every solver carries in-flight health guards: matrices and right-hand
+    sides containing NaN/Inf are rejected up front ({!Non_finite}), a
+    residual that stops improving for a window of iterations aborts the
+    loop ({!Stagnated}), and a residual growing far beyond the best seen
+    aborts it too ({!Diverged}) — so a hopeless solve stops after tens of
+    iterations instead of burning the full [10 * n] budget.  The
+    {!Ttsv_robust.Robust} escalation ladder builds on these statuses. *)
+
+type status =
+  | Converged  (** the relative residual reached [tol] *)
+  | Iteration_limit  (** the iteration budget ran out while still improving *)
+  | Breakdown of string  (** an inner product underflowed (which one) *)
+  | Stagnated of int
+      (** no meaningful residual improvement for that many iterations *)
+  | Diverged of float  (** the residual grew by that factor over the best seen *)
+  | Non_finite of string  (** NaN/Inf detected in the matrix, rhs or iterates *)
 
 type result = {
   solution : Vec.t;
   iterations : int;  (** iterations actually performed *)
   residual : float;  (** final 2-norm of [b - A x], relative to [||b||] *)
   converged : bool;  (** whether [residual <= tol] was reached *)
+  status : status;  (** why the iteration stopped *)
+  trace : float array;  (** relative-residual history, initial guess included *)
 }
 
 exception Not_converged of result
 (** Raised by the [_exn] variants when the iteration budget is exhausted. *)
 
-val cg : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
+val pp_status : Format.formatter -> status -> unit
+
+val cg :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?on_iterate:(int -> float -> unit) ->
+  ?stagnation_window:int ->
+  ?divergence_factor:float ->
+  Sparse.t ->
+  Vec.t ->
+  result
 (** [cg a b] solves [a x = b] for symmetric positive-definite [a] with
     Jacobi (diagonal) preconditioning.  [tol] is the relative residual
     target (default [1e-10]); [max_iter] defaults to [10 * n];
-    [x0] defaults to the zero vector. *)
+    [x0] defaults to the zero vector.  [on_iterate] is called with
+    [(iteration, relative residual)] after every step.
+    [stagnation_window] (default [max 250 (max_iter / 10)] — Krylov
+    residuals legitimately plateau for long stretches before the
+    superlinear phase, so the default scales with the budget) and
+    [divergence_factor] (default [1e4]) tune the health guards.  When
+    the loop exits on anything but a
+    verified [residual <= tol], the true residual [||b - A x|| / ||b||]
+    is recomputed before reporting, so [converged] cannot be stale. *)
 
 val cg_exn : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
 (** Like {!cg} but returns the solution directly and raises
     {!Not_converged} on failure. *)
 
-val bicgstab : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
-(** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning. *)
+val bicgstab :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?on_iterate:(int -> float -> unit) ->
+  ?stagnation_window:int ->
+  ?divergence_factor:float ->
+  Sparse.t ->
+  Vec.t ->
+  result
+(** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning.
+    Guards and callbacks as in {!cg}; the reported residual is always the
+    recomputed true residual. *)
 
 val jacobi : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
 (** Pointwise Jacobi iteration; requires a nonzero diagonal. *)
 
 val gauss_seidel : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
-(** Forward Gauss–Seidel sweep iteration. *)
+(** Forward Gauss–Seidel sweep iteration.  Each sweep visits only the
+    stored row entries (O(nnz), not O(n²)). *)
 
 val sor : ?tol:float -> ?max_iter:int -> omega:float -> Sparse.t -> Vec.t -> result
 (** Successive over-relaxation with relaxation factor [omega] in (0, 2). *)

@@ -126,6 +126,23 @@ let get m i j =
   done;
   !acc
 
+let iter_row m i f =
+  if i < 0 || i >= m.nrows then invalid_arg "Sparse.iter_row: row out of range";
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let bandwidth m =
+  let bw = ref 0 in
+  for i = 0 to m.nrows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      bw := Stdlib.max !bw (abs (m.col_idx.(k) - i))
+    done
+  done;
+  !bw
+
+let all_finite m = Array.for_all Float.is_finite m.values
+
 let to_dense m =
   let d = Dense.create m.nrows m.ncols in
   for i = 0 to m.nrows - 1 do

@@ -40,6 +40,18 @@ val get : t -> int -> int -> float
 (** [get m i j] is the stored value at [(i, j)], or [0.] if absent.
     O(row nnz). *)
 
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row m i f] applies [f col value] to every stored entry of row
+    [i] in ascending column order.  O(row nnz) — the building block for
+    sweeps and scans that must not probe all [n] columns. *)
+
+val bandwidth : t -> int
+(** [bandwidth m] is the half-bandwidth [max |i - j|] over stored
+    entries (0 for a diagonal or empty matrix). *)
+
+val all_finite : t -> bool
+(** [all_finite m] is [true] when no stored entry is NaN or infinite. *)
+
 val to_dense : t -> Dense.t
 (** Expands to dense form (testing/debugging only). *)
 

@@ -1,0 +1,63 @@
+module Iterative = Ttsv_numerics.Iterative
+
+type rung = Cg | Bicgstab | Direct
+
+type outcome =
+  | Success
+  | Iterative_failure of Iterative.status
+  | Singular
+  | Residual_too_large of float
+  | Skipped of string
+
+type attempt = {
+  rung : rung;
+  outcome : outcome;
+  iterations : int;
+  residual : float;
+  wall_time : float;
+}
+
+type t = {
+  attempts : attempt list;
+  solved_by : rung option;
+  iterations : int;
+  residual : float;
+  trace : float array;
+  wall_time : float;
+}
+
+let empty =
+  {
+    attempts = [];
+    solved_by = None;
+    iterations = 0;
+    residual = Float.nan;
+    trace = [||];
+    wall_time = 0.;
+  }
+
+let rung_name = function Cg -> "cg" | Bicgstab -> "bicgstab" | Direct -> "direct"
+
+let pp_outcome ppf = function
+  | Success -> Format.fprintf ppf "ok"
+  | Iterative_failure s -> Format.fprintf ppf "failed: %a" Iterative.pp_status s
+  | Singular -> Format.fprintf ppf "failed: singular factorization"
+  | Residual_too_large r -> Format.fprintf ppf "failed: residual %.3g too large" r
+  | Skipped why -> Format.fprintf ppf "skipped: %s" why
+
+let pp_attempt ppf a =
+  Format.fprintf ppf "%-8s %a" (rung_name a.rung) pp_outcome a.outcome;
+  match a.outcome with
+  | Skipped _ -> ()
+  | _ ->
+    Format.fprintf ppf " — %d iterations, residual %.3g, %.2f ms" a.iterations a.residual
+      (1000. *. a.wall_time)
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun a -> Format.fprintf ppf "%a@," pp_attempt a) d.attempts;
+  (match d.solved_by with
+  | Some r -> Format.fprintf ppf "solved by %s" (rung_name r)
+  | None -> Format.fprintf ppf "unsolved");
+  Format.fprintf ppf ": %d total iterations, residual %.3g, %.2f ms@]" d.iterations d.residual
+    (1000. *. d.wall_time)

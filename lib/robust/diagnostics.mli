@@ -1,0 +1,46 @@
+(** Structured solver diagnostics.
+
+    {!Robust.solve} climbs an escalation ladder of solver {e rungs}; the
+    diagnostics record every attempt — which rung, why it stopped, how
+    many iterations it spent, its final true relative residual, and its
+    wall time — together with the residual trace of the last attempt.
+    The record is surfaced through {!Ttsv_fem.Solver.solve},
+    {!Ttsv_fem.Solver3.solve} and the CLI's [--solver-report] flag. *)
+
+type rung =
+  | Cg  (** Jacobi-preconditioned conjugate gradients *)
+  | Bicgstab  (** Jacobi-preconditioned BiCGStab *)
+  | Direct  (** banded or dense LU fallback *)
+
+type outcome =
+  | Success
+  | Iterative_failure of Ttsv_numerics.Iterative.status
+  | Singular  (** the direct factorization hit a zero pivot *)
+  | Residual_too_large of float
+      (** the direct solve went through but its residual failed the
+          acceptance check *)
+  | Skipped of string  (** the rung was not attempted (and why) *)
+
+type attempt = {
+  rung : rung;
+  outcome : outcome;
+  iterations : int;  (** iterations this attempt spent (0 for direct) *)
+  residual : float;  (** true relative residual after the attempt; NaN if skipped *)
+  wall_time : float;  (** seconds *)
+}
+
+type t = {
+  attempts : attempt list;  (** in execution order *)
+  solved_by : rung option;  (** the rung that produced the answer *)
+  iterations : int;  (** total across attempts *)
+  residual : float;  (** final true relative residual *)
+  trace : float array;  (** residual history of the deciding attempt *)
+  wall_time : float;  (** total seconds *)
+}
+
+val empty : t
+
+val rung_name : rung -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp : Format.formatter -> t -> unit

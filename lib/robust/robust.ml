@@ -1,0 +1,211 @@
+module Vec = Ttsv_numerics.Vec
+module Sparse = Ttsv_numerics.Sparse
+module Dense = Ttsv_numerics.Dense
+module Banded = Ttsv_numerics.Banded
+module Iterative = Ttsv_numerics.Iterative
+
+type reason = Invalid_input of string list | Exhausted
+
+type failure = {
+  reason : reason;
+  diagnostics : Diagnostics.t;
+  best : Vec.t option;
+  best_residual : float;
+}
+
+exception Solve_failed of failure
+
+let pp_reason ppf = function
+  | Invalid_input problems ->
+    Format.fprintf ppf "invalid input: %s" (String.concat "; " problems)
+  | Exhausted -> Format.fprintf ppf "every solver rung failed"
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>solve failed: %a@,%a@]" pp_reason f.reason Diagnostics.pp
+    f.diagnostics
+
+let default_rungs = [ Diagnostics.Cg; Diagnostics.Bicgstab; Diagnostics.Direct ]
+
+(* Direct solves are the last resort: accept them at a looser floor than
+   the iterative target, since there is nothing left to escalate to and an
+   LU residual of ~1e-12 on an ill-conditioned system is still the best
+   available answer. *)
+let direct_accept tol = Float.max tol 1e-8
+
+(* Largest order for which an O(n^3)/O(n^2)-memory dense fallback is
+   still sensible. *)
+let dense_limit = 3000
+
+let preflight a b =
+  let problems = ref [] in
+  let push p = problems := p :: !problems in
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then
+    push (Printf.sprintf "matrix is %dx%d, not square" n (Sparse.cols a));
+  if Array.length b <> n then
+    push (Printf.sprintf "rhs has dimension %d, expected %d" (Array.length b) n);
+  if not (Sparse.all_finite a) then push "matrix contains NaN/Inf entries";
+  if not (Array.for_all Float.is_finite b) then push "rhs contains NaN/Inf entries";
+  List.rev !problems
+
+let true_residual a b x =
+  Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. Float.max (Vec.norm2 b) 1e-300
+
+let banded_of_sparse a bw =
+  let n = Sparse.rows a in
+  let m = Banded.create ~n ~bw in
+  for i = 0 to n - 1 do
+    Sparse.iter_row a i (fun j v -> Banded.add_to m i j v)
+  done;
+  m
+
+(* The direct rung: a pivotless banded LU when the band is narrow enough
+   to pay off, falling back to dense LU with partial pivoting when the
+   band solve needs pivoting or the band is wide.  Returns the candidate
+   solution or the reason there is none. *)
+let direct_candidate a =
+  let n = Sparse.rows a in
+  let bw = Sparse.bandwidth a in
+  let banded_ok = n * ((2 * bw) + 1) <= 50_000_000 && (2 * bw) + 1 < n in
+  if banded_ok then Ok (`Banded (banded_of_sparse a bw))
+  else if n > dense_limit then Error (Diagnostics.Skipped "matrix too large for dense fallback")
+  else Ok (`Dense (Sparse.to_dense a))
+
+let solve_direct a b =
+  match direct_candidate a with
+  | Error e -> Error e
+  | Ok (`Banded m) -> (
+    match Banded.solve m b with
+    | x -> Ok x
+    | exception Dense.Singular -> (
+      (* the band needed pivoting; retry densely when affordable *)
+      if Sparse.rows a > dense_limit then Error Diagnostics.Singular
+      else
+        match Dense.solve (Sparse.to_dense a) b with
+        | x -> Ok x
+        | exception Dense.Singular -> Error Diagnostics.Singular))
+  | Ok (`Dense d) -> (
+    match Dense.solve d b with x -> Ok x | exception Dense.Singular -> Error Diagnostics.Singular)
+
+let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor
+    ?(rungs = default_rungs) a b =
+  let start = Unix.gettimeofday () in
+  match preflight a b with
+  | _ :: _ as problems ->
+    Error
+      {
+        reason = Invalid_input problems;
+        diagnostics = { Diagnostics.empty with wall_time = Unix.gettimeofday () -. start };
+        best = None;
+        best_residual = Float.nan;
+      }
+  | [] ->
+    let best = ref x0 in
+    let best_res = ref Float.infinity in
+    let attempts = ref [] in
+    let total_iters = ref 0 in
+    let trace = ref [||] in
+    let note a = attempts := a :: !attempts in
+    let consider x res =
+      if Float.is_finite res && res < !best_res then begin
+        best := Some x;
+        best_res := res
+      end
+    in
+    let finish solved_by residual =
+      {
+        Diagnostics.attempts = List.rev !attempts;
+        solved_by;
+        iterations = !total_iters;
+        residual;
+        trace = !trace;
+        wall_time = Unix.gettimeofday () -. start;
+      }
+    in
+    let run_iterative rung =
+      let t0 = Unix.gettimeofday () in
+      let solver =
+        match rung with
+        | Diagnostics.Cg -> Iterative.cg
+        | Diagnostics.Bicgstab -> Iterative.bicgstab
+        | Diagnostics.Direct -> assert false
+      in
+      let r =
+        solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor a
+          b
+      in
+      total_iters := !total_iters + r.Iterative.iterations;
+      trace := r.Iterative.trace;
+      consider r.Iterative.solution r.Iterative.residual;
+      let outcome =
+        if r.Iterative.converged then Diagnostics.Success
+        else Diagnostics.Iterative_failure r.Iterative.status
+      in
+      note
+        {
+          Diagnostics.rung;
+          outcome;
+          iterations = r.Iterative.iterations;
+          residual = r.Iterative.residual;
+          wall_time = Unix.gettimeofday () -. t0;
+        };
+      if r.Iterative.converged then Some r.Iterative.solution else None
+    in
+    let run_direct () =
+      let t0 = Unix.gettimeofday () in
+      match solve_direct a b with
+      | Error outcome ->
+        note
+          {
+            Diagnostics.rung = Direct;
+            outcome;
+            iterations = 0;
+            residual = Float.nan;
+            wall_time = Unix.gettimeofday () -. t0;
+          };
+        None
+      | Ok x ->
+        let res = true_residual a b x in
+        consider x res;
+        let ok = Float.is_finite res && res <= direct_accept tol in
+        trace := [| res |];
+        note
+          {
+            Diagnostics.rung = Direct;
+            outcome = (if ok then Success else Residual_too_large res);
+            iterations = 0;
+            residual = res;
+            wall_time = Unix.gettimeofday () -. t0;
+          };
+        if ok then Some x else None
+    in
+    let rec climb = function
+      | [] ->
+        Error
+          {
+            reason = Exhausted;
+            diagnostics = finish None !best_res;
+            best = !best;
+            best_residual = !best_res;
+          }
+      | rung :: rest -> (
+        let solution =
+          match rung with
+          | Diagnostics.Cg | Diagnostics.Bicgstab -> run_iterative rung
+          | Diagnostics.Direct -> run_direct ()
+        in
+        match solution with
+        | Some x ->
+          let res = (List.hd !attempts).Diagnostics.residual in
+          Ok (x, finish (Some rung) res)
+        | None -> climb rest)
+    in
+    climb rungs
+
+let solve_exn ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?rungs a
+    b =
+  match
+    solve ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?rungs a b
+  with
+  | Ok r -> r
+  | Error f -> raise (Solve_failed f)

@@ -1,0 +1,73 @@
+(** Resilient linear solving: the escalation ladder.
+
+    [solve] climbs a ladder of solver rungs — Jacobi-preconditioned CG,
+    then BiCGStab (warm-started from the best iterate so far), then a
+    direct banded/dense LU fallback — until one of them produces a
+    solution, and returns a {!Diagnostics.t} recording which rungs fired,
+    why the failed ones stopped, and the residual history.  Inputs
+    containing NaN/Inf (or with mismatched dimensions) are rejected up
+    front without spending a single iteration.
+
+    Every failure path is a typed value: no [failwith], no silently
+    non-converged result. *)
+
+type reason =
+  | Invalid_input of string list
+      (** the system was rejected before any rung ran (each entry is one
+          human-readable problem) *)
+  | Exhausted  (** every rung was attempted and none produced a solution *)
+
+type failure = {
+  reason : reason;
+  diagnostics : Diagnostics.t;
+  best : Ttsv_numerics.Vec.t option;
+      (** the least-bad iterate seen across the rungs, when any rung got
+          that far — useful for post-mortems and damped restarts *)
+  best_residual : float;  (** its true relative residual (NaN when [best] is [None]) *)
+}
+
+exception Solve_failed of failure
+(** Raised by {!solve_exn} and by the exception-style FEM entry points. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+val default_rungs : Diagnostics.rung list
+(** [[Cg; Bicgstab; Direct]]. *)
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Ttsv_numerics.Vec.t ->
+  ?on_iterate:(int -> float -> unit) ->
+  ?stagnation_window:int ->
+  ?divergence_factor:float ->
+  ?rungs:Diagnostics.rung list ->
+  Ttsv_numerics.Sparse.t ->
+  Ttsv_numerics.Vec.t ->
+  (Ttsv_numerics.Vec.t * Diagnostics.t, failure) result
+(** [solve a b] solves [a x = b], escalating through [rungs] (default
+    {!default_rungs}).  [tol] (default [1e-10]) is the relative residual
+    target; [max_iter] is the per-rung iteration budget of the iterative
+    rungs (default [10 * n] each).  [on_iterate] observes every iteration
+    of every iterative rung; [stagnation_window] and [divergence_factor]
+    are passed through to {!Ttsv_numerics.Iterative} for both iterative
+    rungs.  The direct rung builds a pivotless banded LU
+    when the bandwidth is narrow, retries with dense partial-pivoting LU
+    when the band factorization hits a zero pivot, and accepts the result
+    at [max tol 1e-8] (it is the last resort).  Matrices of order beyond
+    a few thousand with a wide band skip the dense fallback rather than
+    allocating O(n²). *)
+
+val solve_exn :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Ttsv_numerics.Vec.t ->
+  ?on_iterate:(int -> float -> unit) ->
+  ?stagnation_window:int ->
+  ?divergence_factor:float ->
+  ?rungs:Diagnostics.rung list ->
+  Ttsv_numerics.Sparse.t ->
+  Ttsv_numerics.Vec.t ->
+  Ttsv_numerics.Vec.t * Diagnostics.t
+(** Like {!solve} but raises {!Solve_failed}. *)

@@ -1,0 +1,96 @@
+module Material = Ttsv_physics.Material
+
+type violation = { field : string; value : float; requirement : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s = %g: %s" v.field v.value v.requirement
+
+let pp_violations ppf vs =
+  Format.fprintf ppf "@[<v>%d invalid input%s:@," (List.length vs)
+    (if List.length vs = 1 then "" else "s");
+  List.iter (fun v -> Format.fprintf ppf "  - %a@," pp_violation v) vs;
+  Format.fprintf ppf "@]"
+
+let to_string vs = Format.asprintf "%a" pp_violations vs
+
+(* Accumulating primitives.  Each check conses its violation (if any) onto
+   the accumulator; a non-finite value reports only the finiteness
+   violation, not the sign one it would trivially also fail. *)
+let finite ~field value acc =
+  if Float.is_finite value then acc
+  else { field; value; requirement = "must be finite" } :: acc
+
+let positive ~field value acc =
+  if not (Float.is_finite value) then { field; value; requirement = "must be finite" } :: acc
+  else if value <= 0. then { field; value; requirement = "must be positive" } :: acc
+  else acc
+
+let nonnegative ~field value acc =
+  if not (Float.is_finite value) then { field; value; requirement = "must be finite" } :: acc
+  else if value < 0. then { field; value; requirement = "must be nonnegative" } :: acc
+  else acc
+
+let check ~field ~value ~requirement ok acc =
+  if ok then acc else { field; value; requirement } :: acc
+
+let tsv ?(prefix = "tsv.") ~radius ~liner_thickness ~extension () =
+  []
+  |> positive ~field:(prefix ^ "radius") radius
+  |> positive ~field:(prefix ^ "liner_thickness") liner_thickness
+  |> nonnegative ~field:(prefix ^ "extension") extension
+  |> List.rev
+
+let plane ?(prefix = "plane.") ~first ~t_substrate ~t_ild ~t_bond ~t_device
+    ~device_power_density ~ild_power_density () =
+  []
+  |> positive ~field:(prefix ^ "t_substrate") t_substrate
+  |> positive ~field:(prefix ^ "t_ild") t_ild
+  |> (if first then
+        check ~field:(prefix ^ "t_bond") ~value:t_bond
+          ~requirement:"the first plane must have no bonding layer below it" (t_bond = 0.)
+      else positive ~field:(prefix ^ "t_bond") t_bond)
+  |> nonnegative ~field:(prefix ^ "t_device") t_device
+  |> check ~field:(prefix ^ "t_device") ~value:t_device
+       ~requirement:"device layer must not be thicker than the substrate"
+       (not (Float.is_finite t_device && Float.is_finite t_substrate)
+       || t_device <= t_substrate)
+  |> nonnegative ~field:(prefix ^ "device_power_density") device_power_density
+  |> nonnegative ~field:(prefix ^ "ild_power_density") ild_power_density
+  |> List.rev
+
+let material ?(prefix = "") (m : Material.t) =
+  let p field = prefix ^ m.Material.name ^ "." ^ field in
+  []
+  |> positive ~field:(p "conductivity") m.Material.conductivity
+  |> positive ~field:(p "volumetric_heat_capacity") m.Material.volumetric_heat_capacity
+  |> List.rev
+
+let block ~r ~t_liner ~t_ild ~t_bond ~t_si23 ~t_si1 ~l_ext ~t_device ~footprint =
+  let per_part =
+    tsv ~prefix:"" ~radius:r ~liner_thickness:t_liner ~extension:l_ext ()
+    @ plane ~prefix:"plane1." ~first:true ~t_substrate:t_si1 ~t_ild ~t_bond:0. ~t_device
+        ~device_power_density:0. ~ild_power_density:0. ()
+    @ plane ~prefix:"plane2+." ~first:false ~t_substrate:t_si23 ~t_ild ~t_bond ~t_device
+        ~device_power_density:0. ~ild_power_density:0. ()
+    @ ([] |> positive ~field:"footprint" footprint |> List.rev)
+  in
+  (* each cross-check runs as soon as the values it relates are
+     individually sane, even when unrelated fields are not *)
+  let dirty fields =
+    List.exists (fun v -> List.mem v.field fields) per_part
+  in
+  let cross =
+    []
+    |> (if dirty [ "extension"; "plane1.t_substrate" ] then Fun.id
+        else
+          check ~field:"l_ext" ~value:l_ext
+            ~requirement:"TSV extension must be smaller than the first substrate thickness"
+            (l_ext < t_si1))
+    |> (if dirty [ "radius"; "liner_thickness"; "footprint" ] then Fun.id
+        else
+          check ~field:"radius" ~value:r
+            ~requirement:"TTSV including its liner must fit inside the footprint"
+            (Float.pi *. ((r +. t_liner) ** 2.) < footprint))
+    |> List.rev
+  in
+  per_part @ cross

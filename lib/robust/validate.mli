@@ -1,0 +1,81 @@
+(** Structured, accumulating input validation.
+
+    The geometry constructors ({!Ttsv_geometry.Stack.make} and friends)
+    die on the {e first} [Invalid_argument]; this module runs the same
+    physical constraints over raw values and returns {e every} violation
+    as a typed list, so a caller (the CLI, a batch sweep driver) can
+    report all problems in one pass before constructing anything.
+    {!Ttsv_core.Params.block_checked} wires it in front of the paper's
+    block geometry. *)
+
+type violation = {
+  field : string;  (** dotted path of the offending input, e.g. ["tsv.radius"] *)
+  value : float;
+  requirement : string;  (** human-readable constraint, e.g. ["must be positive"] *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_violations : Format.formatter -> violation list -> unit
+val to_string : violation list -> string
+
+(** {2 Accumulating primitives}
+
+    Each check prepends its violation (if any) to the accumulator and
+    returns it, so checks chain with [|>].  A non-finite value reports
+    only the finiteness violation. *)
+
+val finite : field:string -> float -> violation list -> violation list
+val positive : field:string -> float -> violation list -> violation list
+val nonnegative : field:string -> float -> violation list -> violation list
+
+val check :
+  field:string ->
+  value:float ->
+  requirement:string ->
+  bool ->
+  violation list ->
+  violation list
+(** [check ~field ~value ~requirement ok acc] records a violation when
+    [ok] is false. *)
+
+(** {2 Domain checks} — each returns its violations in field order. *)
+
+val tsv :
+  ?prefix:string -> radius:float -> liner_thickness:float -> extension:float -> unit ->
+  violation list
+(** The {!Ttsv_geometry.Tsv.make} constraints, accumulated. *)
+
+val plane :
+  ?prefix:string ->
+  first:bool ->
+  t_substrate:float ->
+  t_ild:float ->
+  t_bond:float ->
+  t_device:float ->
+  device_power_density:float ->
+  ild_power_density:float ->
+  unit ->
+  violation list
+(** The {!Ttsv_geometry.Plane.make} constraints plus the stack-level bond
+    rule ([first] planes need [t_bond = 0], the rest [t_bond > 0]). *)
+
+val material : ?prefix:string -> Ttsv_physics.Material.t -> violation list
+(** Conductivity and volumetric heat capacity must be positive and
+    finite. *)
+
+val block :
+  r:float ->
+  t_liner:float ->
+  t_ild:float ->
+  t_bond:float ->
+  t_si23:float ->
+  t_si1:float ->
+  l_ext:float ->
+  t_device:float ->
+  footprint:float ->
+  violation list
+(** All constraints of the paper's block unit cell
+    ({!Ttsv_core.Params.block}): per-part positivity plus the cross
+    checks ([l_ext] inside the first substrate, the lined TTSV inside the
+    footprint).  Cross checks run only once the parts are individually
+    sane, so one bad radius does not cascade. *)

@@ -64,7 +64,101 @@ let unit_tests =
     test "rhs dimension mismatch" (fun () ->
         let m = Sparse.of_dense (Dense.identity 2) in
         check_raises_invalid "dim" (fun () -> ignore (Iterative.cg m [| 1. |])));
+    test "cg breakdown reports the true residual" (fun () ->
+        (* diag(1, -1) is indefinite: p.Ap = 0 on the very first step, so
+           the loop aborts before updating x.  The reported residual must
+           be the recomputed ||b - A x|| / ||b|| = 1, not a stale
+           recurrence value, and converged must agree with it. *)
+        let b = Sparse.builder 2 2 in
+        Sparse.add b 0 0 1.;
+        Sparse.add b 1 1 (-1.);
+        let m = Sparse.finalize b in
+        let r = Iterative.cg ~tol:1e-10 m [| 1.; 1. |] in
+        (match r.Iterative.status with
+        | Iterative.Breakdown _ -> ()
+        | s -> Alcotest.failf "expected Breakdown, got %a" Iterative.pp_status s);
+        Alcotest.(check bool) "not converged" false r.Iterative.converged;
+        close "true residual" 1. r.Iterative.residual);
+    test "cg stagnating on an ill-conditioned system aborts long before the budget"
+      (fun () ->
+        (* the 12x12 Hilbert matrix (condition ~1e16) with an unreachable
+           tolerance: CG floors well above tol and the stagnation guard
+           must end the solve in a window's worth of iterations, not let
+           it burn the whole budget *)
+        let n = 12 in
+        let b = Sparse.builder n n in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Sparse.add b i j (1. /. Float.of_int (i + j + 1))
+          done
+        done;
+        let m = Sparse.finalize b in
+        let rhs = Array.init n (fun i -> 1. /. Float.of_int (i + 1)) in
+        let max_iter = 100_000 in
+        (* the divergence guard is disarmed so the (also-valid) abort it
+           would produce on recurrence noise cannot shadow the stagnation
+           one under test *)
+        let r =
+          Iterative.cg ~tol:1e-20 ~max_iter ~stagnation_window:50 ~divergence_factor:1e300
+            m rhs
+        in
+        (match r.Iterative.status with
+        | Iterative.Stagnated _ -> ()
+        | s -> Alcotest.failf "expected Stagnated, got %a" Iterative.pp_status s);
+        Alcotest.(check bool)
+          (Printf.sprintf "aborted early (%d iterations)" r.Iterative.iterations)
+          true
+          (r.Iterative.iterations < max_iter / 100));
+    test "cg divergence guard trips when the recurrence blows up" (fun () ->
+        (* same floored Hilbert solve, but with the stagnation guard
+           disarmed instead: the residual recurrence drifts orders of
+           magnitude above the best seen and the divergence guard fires *)
+        let n = 12 in
+        let b = Sparse.builder n n in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Sparse.add b i j (1. /. Float.of_int (i + j + 1))
+          done
+        done;
+        let m = Sparse.finalize b in
+        let rhs = Array.init n (fun i -> 1. /. Float.of_int (i + 1)) in
+        let max_iter = 100_000 in
+        let r = Iterative.cg ~tol:1e-20 ~max_iter ~stagnation_window:max_iter m rhs in
+        (match r.Iterative.status with
+        | Iterative.Diverged factor ->
+          Alcotest.(check bool) "grew past the threshold" true (factor > 1e4)
+        | s -> Alcotest.failf "expected Diverged, got %a" Iterative.pp_status s);
+        Alcotest.(check bool)
+          (Printf.sprintf "aborted early (%d iterations)" r.Iterative.iterations)
+          true
+          (r.Iterative.iterations < max_iter / 100));
   ]
+
+(* the pre-optimization O(n^2) sweep, probing every (i, j) through
+   Sparse.get: the regression reference for the O(nnz) row-iteration one *)
+let reference_sweep omega a b d x =
+  let n = Array.length x in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to n - 1 do
+      acc := !acc -. (Sparse.get a i j *. x.(j))
+    done;
+    x.(i) <- x.(i) +. (omega *. !acc /. d.(i))
+  done
+
+let reference_stationary omega ~tol ~max_iter a b =
+  let n = Array.length b in
+  let d = Sparse.diagonal a in
+  let x = Vec.zeros n in
+  let nb = Float.max (Vec.norm2 b) 1e-300 in
+  let res = ref (Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb) in
+  let iter = ref 0 in
+  while !res > tol && !iter < max_iter do
+    incr iter;
+    reference_sweep omega a b d x;
+    res := Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb
+  done;
+  (x, !iter)
 
 let property_tests =
   [
@@ -87,6 +181,19 @@ let property_tests =
         let r1 = Iterative.cg ~tol:1e-13 m b in
         let r2 = Iterative.cg ~tol:1e-10 ~x0:r1.Iterative.solution m b in
         r2.Iterative.iterations = 0 && r2.Iterative.converged);
+    (* budget 200 < the minimum guard window of 250, so both loops run the
+       same pure sweep schedule and must agree bit for bit *)
+    qtest ~count:30 "gauss-seidel sweep matches the O(n^2) reference exactly"
+      (gen_spd_system 10)
+      (fun (m, b) ->
+        let r = Iterative.gauss_seidel ~tol:1e-8 ~max_iter:200 m b in
+        let x_ref, iters_ref = reference_stationary 1. ~tol:1e-8 ~max_iter:200 m b in
+        r.Iterative.iterations = iters_ref && r.Iterative.solution = x_ref);
+    qtest ~count:30 "sor sweep matches the O(n^2) reference exactly" (gen_spd_system 10)
+      (fun (m, b) ->
+        let r = Iterative.sor ~omega:1.3 ~tol:1e-8 ~max_iter:200 m b in
+        let x_ref, iters_ref = reference_stationary 1.3 ~tol:1e-8 ~max_iter:200 m b in
+        r.Iterative.iterations = iters_ref && r.Iterative.solution = x_ref);
   ]
 
 let suite = ("iterative", unit_tests @ property_tests)

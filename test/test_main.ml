@@ -9,6 +9,7 @@ let () =
       Test_banded.suite;
       Test_sparse.suite;
       Test_iterative.suite;
+      Test_robust.suite;
       Test_optimize.suite;
       Test_interp_stats.suite;
       Test_physics.suite;

@@ -57,7 +57,7 @@ let nonlinear_tests =
         let linear = Solver.max_rise (Solver.solve problem) in
         let materials = Problem.materials_of_stack stack in
         let res, sweeps =
-          Solver.solve_nonlinear ~materials ~sink_temperature_k:sink_k problem
+          Solver.solve_nonlinear_exn ~materials ~sink_temperature_k:sink_k problem
         in
         close_rel ~tol:1e-9 "same" linear (Solver.max_rise res);
         Alcotest.(check int) "two sweeps" 2 sweeps);
@@ -66,9 +66,28 @@ let nonlinear_tests =
         let problem = Problem.of_stack stack in
         let linear = Solver.max_rise (Solver.solve problem) in
         let materials = Problem.materials_of_stack stack in
-        let res, _ = Solver.solve_nonlinear ~materials ~sink_temperature_k:sink_k problem in
+        let res, _ =
+          Solver.solve_nonlinear_exn ~materials ~sink_temperature_k:sink_k problem
+        in
         Alcotest.(check bool) "hotter" true (Solver.max_rise res > linear);
         Alcotest.(check bool) "conserves" true (Solver.energy_imbalance res < 1e-6));
+    test "FV Picard failure is typed and carries the last iterate" (fun () ->
+        let problem = Problem.of_stack (Params.block ()) in
+        let materials = Problem.materials_of_stack (Params.block ()) in
+        (* one sweep can never satisfy the settle test, so every damping
+           rung is exhausted and the structured failure surfaces *)
+        match
+          Solver.solve_nonlinear ~max_picard:1 ~materials ~sink_temperature_k:sink_k
+            problem
+        with
+        | Ok _ -> Alcotest.fail "expected a Picard failure with max_picard = 1"
+        | Error f ->
+          Alcotest.(check int) "one sweep" 1 f.Solver.sweeps;
+          Alcotest.(check bool) "most damped rung was tried" true (f.Solver.damping < 1.);
+          Alcotest.(check bool) "last iterate attached" true
+            (Solver.max_rise f.Solver.last > 0.);
+          Alcotest.(check bool) "residual attached" true
+            (Float.is_finite f.Solver.last.Solver.residual));
     test "FV Picard validates the materials map" (fun () ->
         let problem = Problem.of_stack (Params.block ()) in
         check_raises_invalid "length" (fun () ->

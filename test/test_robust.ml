@@ -1,0 +1,253 @@
+(* Tests for the solver escalation ladder (Robust), the structured input
+   validation (Validate) and the typed failure paths of the FEM front
+   ends. *)
+
+module Sparse = Ttsv_numerics.Sparse
+module Dense = Ttsv_numerics.Dense
+module Vec = Ttsv_numerics.Vec
+module Iterative = Ttsv_numerics.Iterative
+module Robust = Ttsv_robust.Robust
+module Diagnostics = Ttsv_robust.Diagnostics
+module Validate = Ttsv_robust.Validate
+module Params = Ttsv_core.Params
+module Materials = Ttsv_physics.Materials
+module Material = Ttsv_physics.Material
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+open Helpers
+
+let gen_spd_system n = QCheck2.Gen.(gen_spd n >>= fun m -> gen_vec n >|= fun b -> (m, b))
+
+let contains s affix =
+  let ls = String.length s and la = String.length affix in
+  let rec at i = i + la <= ls && (String.sub s i la = affix || at (i + 1)) in
+  at 0
+
+(* a mildly nonsymmetric system: CG's recurrence is invalid here *)
+let small_nonsym () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 4.;
+  Sparse.add b 0 1 1.;
+  Sparse.add b 1 0 2.;
+  Sparse.add b 1 1 5.;
+  Sparse.add b 1 2 1.;
+  Sparse.add b 2 1 (-1.);
+  Sparse.add b 2 2 3.;
+  Sparse.finalize b
+
+(* the 2-D rotation [[0, 1]; [-1, 0]]: p.Ap = 0 and r_hat.v = 0 on the
+   first step, so both Krylov rungs break down immediately; only a
+   pivoting direct solve gets through *)
+let rotation () =
+  let b = Sparse.builder 2 2 in
+  Sparse.add b 0 1 1.;
+  Sparse.add b 1 0 (-1.);
+  Sparse.finalize b
+
+(* the n-by-n Hilbert matrix: condition number ~1e13 at n = 10 *)
+let hilbert n =
+  let b = Sparse.builder n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Sparse.add b i j (1. /. Float.of_int (i + j + 1))
+    done
+  done;
+  Sparse.finalize b
+
+let matches_direct msg m b x =
+  let exact = Dense.solve (Sparse.to_dense m) b in
+  Alcotest.(check bool) msg true (Vec.approx_equal ~rtol:1e-6 ~atol:1e-9 x exact)
+
+let ladder_tests =
+  [
+    test "ladder recovers a system plain CG cannot solve" (fun () ->
+        let m = small_nonsym () in
+        let b = [| 1.; 2.; 3. |] in
+        let cg = Iterative.cg ~tol:1e-12 m b in
+        Alcotest.(check bool) "plain CG fails here" false cg.Iterative.converged;
+        match Robust.solve ~tol:1e-12 m b with
+        | Error f -> Alcotest.failf "ladder failed: %a" Robust.pp_failure f
+        | Ok (x, d) ->
+          matches_direct "matches LU" m b x;
+          Alcotest.(check bool) "escalated past CG" true
+            (d.Diagnostics.solved_by <> Some Diagnostics.Cg);
+          Alcotest.(check bool) "CG attempt recorded" true
+            (List.exists
+               (fun a -> a.Diagnostics.rung = Diagnostics.Cg)
+               d.Diagnostics.attempts));
+    test "both Krylov rungs break down; the direct rung rescues" (fun () ->
+        let m = rotation () in
+        let b = [| 1.; 2. |] in
+        match Robust.solve m b with
+        | Error f -> Alcotest.failf "ladder failed: %a" Robust.pp_failure f
+        | Ok (x, d) ->
+          matches_direct "matches LU" m b x;
+          Alcotest.(check bool) "solved by the direct rung" true
+            (d.Diagnostics.solved_by = Some Diagnostics.Direct);
+          Alcotest.(check int) "all three rungs attempted" 3
+            (List.length d.Diagnostics.attempts));
+    test "ill-conditioned Hilbert system ends with a usable answer" (fun () ->
+        let n = 10 in
+        let m = hilbert n in
+        let b = Array.init n (fun i -> 1. /. Float.of_int (i + 1)) in
+        match Robust.solve ~tol:1e-14 m b with
+        | Error f -> Alcotest.failf "ladder failed: %a" Robust.pp_failure f
+        | Ok (x, d) ->
+          let res = Vec.norm2 (Vec.sub b (Sparse.mat_vec m x)) /. Vec.norm2 b in
+          Alcotest.(check bool)
+            (Printf.sprintf "residual %.3g within the direct floor" res)
+            true (res <= 1e-8);
+          Alcotest.(check bool) "some rung claimed it" true
+            (d.Diagnostics.solved_by <> None));
+    test "NaN in the rhs is rejected before any rung runs" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 3) in
+        match Robust.solve m [| 1.; Float.nan; 3. |] with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error f ->
+          (match f.Robust.reason with
+          | Robust.Invalid_input problems ->
+            Alcotest.(check bool) "mentions the rhs" true
+              (List.exists (fun p -> String.length p > 0 && String.sub p 0 3 = "rhs") problems)
+          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input");
+          Alcotest.(check int) "no rung ran" 0 (List.length f.Robust.diagnostics.Diagnostics.attempts);
+          Alcotest.(check int) "no iterations spent" 0
+            f.Robust.diagnostics.Diagnostics.iterations);
+    test "Inf in the matrix is rejected before any rung runs" (fun () ->
+        let b = Sparse.builder 2 2 in
+        Sparse.add b 0 0 Float.infinity;
+        Sparse.add b 1 1 1.;
+        match Robust.solve (Sparse.finalize b) [| 1.; 1. |] with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error f -> (
+          match f.Robust.reason with
+          | Robust.Invalid_input _ -> ()
+          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+    test "dimension mismatch is a typed failure, not an exception" (fun () ->
+        let m = Sparse.of_dense (Dense.identity 3) in
+        match Robust.solve m [| 1.; 2. |] with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error f -> (
+          match f.Robust.reason with
+          | Robust.Invalid_input problems ->
+            Alcotest.(check bool) "at least one problem" true (problems <> [])
+          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+    test "a stagnating iterative-only ladder aborts far below the budget" (fun () ->
+        (* unreachable tolerance + no direct rung: both Krylov rungs hit
+           the stagnation guard, and the whole ladder spends a couple of
+           windows, not 2 * max_iter *)
+        let n = 20 in
+        let pair = QCheck2.Gen.generate1 ~rand:(Random.State.make [| 7 |]) (gen_spd_system n) in
+        let m, b = pair in
+        let max_iter = 50_000 in
+        match
+          Robust.solve ~tol:1e-300 ~max_iter ~stagnation_window:50
+            ~rungs:[ Diagnostics.Cg; Diagnostics.Bicgstab ] m b
+        with
+        | Ok _ -> Alcotest.fail "1e-300 should be unreachable"
+        | Error f ->
+          Alcotest.(check bool) "exhausted" true (f.Robust.reason = Robust.Exhausted);
+          Alcotest.(check bool)
+            (Printf.sprintf "aborted early (%d iterations)"
+               f.Robust.diagnostics.Diagnostics.iterations)
+            true
+            (f.Robust.diagnostics.Diagnostics.iterations < max_iter / 10);
+          Alcotest.(check bool) "best iterate retained" true (f.Robust.best <> None);
+          Alcotest.(check bool) "its residual is finite" true
+            (Float.is_finite f.Robust.best_residual));
+    qtest ~count:30 "SPD fast path: CG alone, one successful attempt" (gen_spd_system 12)
+      (fun (m, b) ->
+        match Robust.solve ~tol:1e-10 m b with
+        | Error _ -> false
+        | Ok (x, d) ->
+          let exact = Dense.solve (Sparse.to_dense m) b in
+          Vec.approx_equal ~rtol:1e-6 ~atol:1e-8 x exact
+          && d.Diagnostics.solved_by = Some Diagnostics.Cg
+          && List.length d.Diagnostics.attempts = 1
+          && (List.hd d.Diagnostics.attempts).Diagnostics.outcome = Diagnostics.Success);
+    test "on_iterate observes every iteration the ladder spends" (fun () ->
+        let pair = QCheck2.Gen.generate1 ~rand:(Random.State.make [| 11 |]) (gen_spd_system 8) in
+        let m, b = pair in
+        let seen = ref 0 in
+        match Robust.solve ~on_iterate:(fun _ _ -> incr seen) m b with
+        | Error f -> Alcotest.failf "ladder failed: %a" Robust.pp_failure f
+        | Ok (_, d) -> Alcotest.(check int) "callback count" d.Diagnostics.iterations !seen);
+  ]
+
+let validate_tests =
+  [
+    test "every violation is reported at once, not just the first" (fun () ->
+        let vs =
+          Validate.block ~r:(-.Units.um 3.) ~t_liner:Float.nan ~t_ild:(Units.um 4.)
+            ~t_bond:(Units.um 1.) ~t_si23:(Units.um 45.) ~t_si1:(Units.um 1.)
+            ~l_ext:(Units.um 5.) ~t_device:(Units.um 1.)
+            ~footprint:(Units.um 100. *. Units.um 100.)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d violations" (List.length vs))
+          true
+          (List.length vs >= 3);
+        let fields = List.map (fun v -> v.Validate.field) vs in
+        Alcotest.(check bool) "radius sign" true (List.mem "radius" fields);
+        Alcotest.(check bool) "liner finiteness" true (List.mem "liner_thickness" fields);
+        Alcotest.(check bool) "extension vs substrate cross-check" true
+          (List.mem "l_ext" fields));
+    test "block_checked accepts the paper's defaults" (fun () ->
+        match Params.block_checked () with
+        | Error vs -> Alcotest.fail (Validate.to_string vs)
+        | Ok stack ->
+          let show s = Format.asprintf "%a" Ttsv_geometry.Stack.pp s in
+          Alcotest.(check string) "same stack as the unchecked builder" (show (Params.block ()))
+            (show stack));
+    test "block_checked rejects a TSV wider than the footprint" (fun () ->
+        match Params.block_checked ~r:(Units.um 80.) () with
+        | Ok _ -> Alcotest.fail "an 80 um TSV cannot fit a 100x100 um cell"
+        | Error vs ->
+          Alcotest.(check bool) "footprint cross-check fired" true
+            (List.exists (fun v -> v.Validate.field = "radius") vs));
+    test "material validation flags nonpositive properties" (fun () ->
+        let bad = { Materials.copper with Material.conductivity = -1. } in
+        let vs = Validate.material bad in
+        Alcotest.(check int) "one violation" 1 (List.length vs);
+        Alcotest.(check bool) "names the material" true
+          (String.length (List.hd vs).Validate.field > 0));
+    test "violations render as readable text" (fun () ->
+        let vs = Validate.tsv ~radius:(-1.) ~liner_thickness:1e-6 ~extension:1e-6 () in
+        let s = Validate.to_string vs in
+        Alcotest.(check bool) "mentions the field" true (contains s "radius"));
+  ]
+
+let fem_failure_tests =
+  [
+    test "NaN-poisoned conductivity is rejected up front by the FEM solver" (fun () ->
+        let p = Problem.of_stack (Params.block ()) in
+        p.Problem.conductivity.(0) <- Float.nan;
+        match Solver.try_solve p with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error f -> (
+          match f.Robust.reason with
+          | Robust.Invalid_input problems ->
+            Alcotest.(check bool) "points at the bad cell" true
+              (List.exists (fun s -> contains s "cell 0") problems)
+          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+    test "NaN-poisoned source is rejected up front by the FEM solver" (fun () ->
+        let p = Problem.of_stack (Params.block ()) in
+        p.Problem.source.(0) <- Float.neg_infinity;
+        match Solver.try_solve p with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error f -> (
+          match f.Robust.reason with
+          | Robust.Invalid_input _ -> ()
+          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+    test "a healthy FV solve reports its diagnostics" (fun () ->
+        let p = Problem.of_stack (Params.block ()) in
+        match Solver.try_solve p with
+        | Error f -> Alcotest.failf "solve failed: %a" Robust.pp_failure f
+        | Ok r ->
+          let d = r.Solver.diagnostics in
+          Alcotest.(check bool) "solved by some rung" true (d.Diagnostics.solved_by <> None);
+          Alcotest.(check bool) "iterations recorded" true (d.Diagnostics.iterations > 0);
+          Alcotest.(check bool) "trace recorded" true (Array.length d.Diagnostics.trace > 0);
+          Alcotest.(check bool) "wall time recorded" true (d.Diagnostics.wall_time >= 0.));
+  ]
+
+let suite = ("robust", ladder_tests @ validate_tests @ fem_failure_tests)
