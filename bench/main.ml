@@ -7,8 +7,9 @@
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- fig5     # one artefact
      dune exec bench/main.exe -- micro    # microbenchmarks only
+     dune exec bench/main.exe -- parallel # pool scaling, writes BENCH_parallel.json
    Artefacts: fig4 fig5 fig6 fig7 table1 case ablation convergence shape
-   sensitivity nplanes variation nonlinear fillers micro *)
+   sensitivity nplanes variation nonlinear fillers micro parallel *)
 
 module E = Ttsv_experiments
 module Params = Ttsv_core.Params
@@ -69,6 +70,113 @@ let run_micro () =
       | Some _ | None -> Format.fprintf ppf "%-32s (no estimate)@." name)
     rows
 
+(* Pool scaling: wall time of the pooled artefacts at 1/2/4/8 domains,
+   printed and written to BENCH_parallel.json (hand-rolled JSON - the
+   build deliberately has no JSON dependency).  Speedups are measured on
+   whatever cores the host actually has; the determinism tests, not this
+   bench, guarantee the pooled results themselves. *)
+module Pool = Ttsv_parallel.Pool
+module Problem3 = Ttsv_fem.Problem3
+module Solver3 = Ttsv_fem.Solver3
+
+type parallel_run = { domains : int; wall_s : float; iterations : int }
+type parallel_result = { artefact : string; runs : parallel_run list }
+
+let bench_json_path = "BENCH_parallel.json"
+let bench_domains = [ 1; 2; 4; 8 ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* each artefact maps a pool to its iteration count (0 when meaningless) *)
+let parallel_artefacts () =
+  let stack = Params.fig5_stack (Units.um 1.) in
+  [
+    ( "solve3_fig5",
+      fun pool ->
+        let p = Problem3.of_stack ~resolution:1 ?pool stack in
+        (Solver3.solve ?pool p).Solver3.iterations );
+    ( "solve_fv_fig5",
+      fun pool ->
+        (Solver.solve ?pool (Problem.of_stack ~resolution:3 stack)).Solver.iterations );
+    ( "fig5_sweep",
+      fun pool ->
+        ignore (E.Fig5.run ~resolution:1 ?pool ());
+        0 );
+    ( "variation_mc",
+      fun pool ->
+        ignore (E.Variation.run ?pool ());
+        0 );
+  ]
+
+let json_of_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"parallel\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"artefacts\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" r.artefact);
+      let base =
+        match r.runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan
+      in
+      Buffer.add_string buf "      \"runs\": [\n";
+      List.iteri
+        (fun j { domains; wall_s; iterations } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
+                \"iterations\": %d }%s\n"
+               domains wall_s (base /. wall_s) iterations
+               (if j = List.length r.runs - 1 then "" else ",")))
+        r.runs;
+      Buffer.add_string buf "      ]\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run_parallel () =
+  E.Report.heading ppf "Parallel scaling (domain pool wall time per artefact)";
+  (* force the memoized FV calibration outside every timed region *)
+  ignore (E.Reference.block_coefficients ());
+  let results =
+    List.map
+      (fun (artefact, f) ->
+        Format.fprintf ppf "@.%s:@." artefact;
+        let runs =
+          List.map
+            (fun domains ->
+              let pool = Pool.create ~domains () in
+              let iterations, wall_s =
+                Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+                    time (fun () -> f (Some pool)))
+              in
+              { domains; wall_s; iterations })
+            bench_domains
+        in
+        let base = match runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan in
+        List.iter
+          (fun { domains; wall_s; iterations } ->
+            Format.fprintf ppf "  domains=%d  %8.3f s  speedup %5.2fx%s@." domains wall_s
+              (base /. wall_s)
+              (if iterations > 0 then Printf.sprintf "  (%d solver iterations)" iterations
+               else ""))
+          runs;
+        { artefact; runs })
+      (parallel_artefacts ())
+  in
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_of_results results));
+  Format.fprintf ppf "@.wrote %s@." bench_json_path
+
 let artefacts : (string * (unit -> unit)) list =
   [
     ("fig4", fun () -> E.Fig4.print ppf ());
@@ -86,6 +194,7 @@ let artefacts : (string * (unit -> unit)) list =
     ("nonlinear", fun () -> E.Nonlinear_study.print ppf ());
     ("fillers", fun () -> E.Fillers.print ppf ());
     ("micro", run_micro);
+    ("parallel", run_parallel);
   ]
 
 let () =

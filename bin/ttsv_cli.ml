@@ -66,6 +66,22 @@ let segments_t =
 let resolution_t =
   Arg.(value & opt int 2 & info [ "resolution" ] ~doc:"finite-volume mesh resolution factor")
 
+module Pool = Ttsv_parallel.Pool
+
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "worker domains for pooled execution. Defaults to the TTSV_DOMAINS environment \
+           variable when set, otherwise to the recommended domain count capped at 8; 1 \
+           disables parallelism.")
+
+(* every pooled command funnels through here so the pool is always shut
+   down, whatever the command does *)
+let with_pool domains f = Pool.with_pool ?domains f
+
 let model_t =
   let models = [ ("a", `A); ("b", `B); ("1d", `One_d); ("fv", `Fv); ("all", `All) ] in
   Arg.(value & opt (enum models) `All & info [ "model" ] ~doc:"model to run: a, b, 1d, fv or all")
@@ -74,7 +90,7 @@ let model_t =
 
 let print_rise label dt = Format.printf "%-14s max dT = %6.3f K@." label dt
 
-let run_model ~solver_report stack coeffs segments resolution = function
+let run_model ~solver_report ~pool stack coeffs segments resolution = function
   | `A -> print_rise "Model A" (Model_a.max_rise (Model_a.solve ~coeffs stack))
   | `B ->
     print_rise
@@ -82,7 +98,7 @@ let run_model ~solver_report stack coeffs segments resolution = function
       (Model_b.max_rise (Model_b.solve_n stack segments))
   | `One_d -> print_rise "Model 1D" (Model_1d.max_rise (Model_1d.solve stack))
   | `Fv ->
-    let res = Solver.solve (Problem.of_stack ~resolution stack) in
+    let res = Solver.solve ~pool (Problem.of_stack ~resolution stack) in
     print_rise "FV reference" (Solver.max_rise res);
     if solver_report then
       Format.printf "@[<v 2>solver report:@,%a@]@." Diagnostics.pp res.Solver.diagnostics
@@ -105,17 +121,18 @@ let r_package_t =
     & info [ "r-package" ] ~doc:"sink-to-ambient package resistance [K/W]")
 
 let solve_cmd =
-  let run stack coeffs segments resolution model ambient r_package solver_report =
+  let run stack coeffs segments resolution model ambient r_package solver_report domains =
+    with_pool domains @@ fun pool ->
     let qs = Stack.heat_inputs stack in
     Format.printf "unit cell: %a@." Stack.pp stack;
     Array.iteri (fun i q -> Format.printf "q%d = %.4g W@." (i + 1) q) qs;
     (match model with
     | `All ->
       List.iter
-        (run_model ~solver_report stack coeffs segments resolution)
+        (run_model ~solver_report ~pool stack coeffs segments resolution)
         [ `A; `B; `One_d; `Fv ]
     | (`A | `B | `One_d | `Fv) as m ->
-      run_model ~solver_report stack coeffs segments resolution m);
+      run_model ~solver_report ~pool stack coeffs segments resolution m);
     let detail = Model_a.solve ~coeffs stack in
     Format.printf "@.Model A nodal rises:@.";
     Format.printf "  T0 (TSV foot) = %6.3f K@." detail.Model_a.t0;
@@ -144,7 +161,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ model_t $ ambient_t
-      $ r_package_t $ solver_report_t)
+      $ r_package_t $ solver_report_t $ domains_t)
 
 (* ------------------------------------------------------------------- sweep *)
 
@@ -160,8 +177,9 @@ let sweep_cmd =
   let to_t = Arg.(value & opt float 20. & info [ "to" ] ~doc:"sweep end [µm]") in
   let points_t = Arg.(value & opt int 10 & info [ "points" ] ~doc:"number of sweep points") in
   let with_fv_t = Arg.(value & flag & info [ "with-fv" ] ~doc:"include the FV reference") in
-  let run stack coeffs segments resolution param from_ to_ points with_fv =
+  let run stack coeffs segments resolution param from_ to_ points with_fv domains =
     if points < 2 then invalid_arg "sweep: need at least two points";
+    with_pool domains @@ fun pool ->
     let xs = Ttsv_numerics.Vec.linspace from_ to_ points in
     let rebuild x =
       let v = Units.um x in
@@ -174,24 +192,35 @@ let sweep_cmd =
     in
     Format.printf "%12s %12s %12s %12s%s@." "x [um]" "Model A" "Model B" "Model 1D"
       (if with_fv then "          FV" else "");
+    (* evaluate the (independent) sweep points over the pool; the rows
+       come back in sweep order, so the printout is unchanged *)
+    let rows =
+      E.Sweep.map_array ~pool
+        (fun x ->
+          let s = rebuild x in
+          let a = Model_a.max_rise (Model_a.solve ~coeffs s) in
+          let b = Model_b.max_rise (Model_b.solve_n s segments) in
+          let d = Model_1d.max_rise (Model_1d.solve s) in
+          let fv =
+            if with_fv then
+              Some (Solver.max_rise (Solver.solve (Problem.of_stack ~resolution s)))
+            else None
+          in
+          (x, a, b, d, fv))
+        xs
+    in
     Array.iter
-      (fun x ->
-        let s = rebuild x in
-        let a = Model_a.max_rise (Model_a.solve ~coeffs s) in
-        let b = Model_b.max_rise (Model_b.solve_n s segments) in
-        let d = Model_1d.max_rise (Model_1d.solve s) in
-        if with_fv then begin
-          let fv = Solver.max_rise (Solver.solve (Problem.of_stack ~resolution s)) in
-          Format.printf "%12.3f %12.3f %12.3f %12.3f %12.3f@." x a b d fv
-        end
-        else Format.printf "%12.3f %12.3f %12.3f %12.3f@." x a b d)
-      xs
+      (fun (x, a, b, d, fv) ->
+        match fv with
+        | Some fv -> Format.printf "%12.3f %12.3f %12.3f %12.3f %12.3f@." x a b d fv
+        | None -> Format.printf "%12.3f %12.3f %12.3f %12.3f@." x a b d)
+      rows
   in
   let info = Cmd.info "sweep" ~doc:"sweep a geometric parameter and print the dT curve" in
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ param_t $ from_t $ to_t
-      $ points_t $ with_fv_t)
+      $ points_t $ with_fv_t $ domains_t)
 
 (* ----------------------------------------------------------------- figures *)
 
@@ -205,30 +234,31 @@ let figures_cmd =
             "artefacts to run: fig4 fig5 fig6 fig7 table1 case ablation convergence shape \
              sensitivity nplanes variation nonlinear fillers")
   in
-  let run which =
+  let run which domains =
+    with_pool domains @@ fun pool ->
     let ppf = Format.std_formatter in
     List.iter
       (fun name ->
         match name with
-        | "fig4" -> E.Fig4.print ppf ()
-        | "fig5" -> E.Fig5.print ppf ()
+        | "fig4" -> E.Fig4.print ~pool ppf ()
+        | "fig5" -> E.Fig5.print ~pool ppf ()
         | "fig6" -> E.Fig6.print ppf ()
-        | "fig7" -> E.Fig7.print ppf ()
+        | "fig7" -> E.Fig7.print ~pool ppf ()
         | "table1" -> E.Table1.print ppf ()
         | "case" -> E.Case_study.print ppf ()
         | "ablation" -> E.Ablation.print ppf ()
         | "convergence" -> E.Convergence.print ppf ()
         | "shape" -> E.Shape.print ppf ()
-        | "sensitivity" -> E.Sensitivity.print ppf ()
-        | "nplanes" -> E.Nplanes.print ppf ()
-        | "variation" -> E.Variation.print ppf ()
+        | "sensitivity" -> E.Sensitivity.print ~pool ppf ()
+        | "nplanes" -> E.Nplanes.print ~pool ppf ()
+        | "variation" -> E.Variation.print ~pool ppf ()
         | "nonlinear" -> E.Nonlinear_study.print ppf ()
         | "fillers" -> E.Fillers.print ppf ()
         | other -> Format.eprintf "unknown artefact %S (skipped)@." other)
       which
   in
   let info = Cmd.info "figures" ~doc:"regenerate the paper's figures and tables" in
-  Cmd.v info Term.(const run $ which_t)
+  Cmd.v info Term.(const run $ which_t $ domains_t)
 
 (* --------------------------------------------------------------- calibrate *)
 
@@ -310,7 +340,14 @@ let chip_cmd =
   let budget_t =
     Arg.(value & opt (some float) None & info [ "budget" ] ~doc:"allocate TTSVs for this max dT [K]")
   in
-  let run stack grid size power hotspot budget =
+  let candidates_t =
+    Arg.(
+      value & opt int 1
+      & info [ "candidates" ]
+          ~doc:"tiles trial-solved per allocation step (1 = classic greedy)")
+  in
+  let run stack grid size power hotspot budget candidates domains =
+    with_pool domains @@ fun pool ->
     let module Chip = Ttsv_chip.Chip_model in
     let module Pm = Ttsv_chip.Power_map in
     let module Alloc = Ttsv_chip.Allocation in
@@ -334,8 +371,13 @@ let chip_cmd =
     | None -> ()
     | Some budget ->
       let out =
-        Alloc.allocate chip maps
-          { (Alloc.default_options ~budget) with Alloc.step = 0.01; max_density = 0.15 }
+        Alloc.allocate ~pool chip maps
+          {
+            (Alloc.default_options ~budget) with
+            Alloc.step = 0.01;
+            max_density = 0.15;
+            candidates;
+          }
       in
       Format.printf "@.allocation for dT <= %.2f K: feasible=%b after %d iterations@." budget
         out.Alloc.feasible out.Alloc.iterations;
@@ -345,7 +387,10 @@ let chip_cmd =
       Format.printf "density map:@.%t@." (Alloc.pp_densities chip out.Alloc.densities)
   in
   let info = Cmd.info "chip" ~doc:"full-chip compact model with a hotspot (extension)" in
-  Cmd.v info Term.(const run $ stack_t $ grid_t $ size_t $ power_t $ hotspot_t $ budget_t)
+  Cmd.v info
+    Term.(
+      const run $ stack_t $ grid_t $ size_t $ power_t $ hotspot_t $ budget_t $ candidates_t
+      $ domains_t)
 
 (* ------------------------------------------------------------------ export *)
 
@@ -353,24 +398,25 @@ let export_cmd =
   let out_t =
     Arg.(value & opt string "results" & info [ "out" ] ~doc:"output directory for CSV files")
   in
-  let run out =
+  let run out domains =
+    with_pool domains @@ fun pool ->
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     let figure name fig =
       let path = Filename.concat out (name ^ ".csv") in
       E.Export.write_figure fig path;
       Format.printf "wrote %s@." path
     in
-    figure "fig4" (E.Fig4.run ());
-    figure "fig5" (E.Fig5.run ());
+    figure "fig4" (E.Fig4.run ~pool ());
+    figure "fig5" (E.Fig5.run ~pool ());
     figure "fig6" (E.Fig6.run ());
-    figure "fig7" (E.Fig7.run ());
+    figure "fig7" (E.Fig7.run ~pool ());
     let table1 = E.Table1.to_table (E.Table1.run ()) in
     let path = Filename.concat out "table1.csv" in
     E.Export.write_table table1 path;
     Format.printf "wrote %s@." path
   in
   let info = Cmd.info "export" ~doc:"write the reproduced figures and tables as CSV" in
-  Cmd.v info Term.(const run $ out_t)
+  Cmd.v info Term.(const run $ out_t $ domains_t)
 
 (* --------------------------------------------------------------- materials *)
 

@@ -1,8 +1,14 @@
-type options = { budget : float; step : float; max_density : float; max_iterations : int }
+type options = {
+  budget : float;
+  step : float;
+  max_density : float;
+  max_iterations : int;
+  candidates : int;
+}
 
 let default_options ~budget =
   if budget <= 0. then invalid_arg "Allocation.default_options: budget must be positive";
-  { budget; step = 0.002; max_density = 0.2; max_iterations = 2000 }
+  { budget; step = 0.002; max_density = 0.2; max_iterations = 2000; candidates = 1 }
 
 type outcome = {
   densities : Chip_model.densities;
@@ -25,39 +31,76 @@ let validate_options o =
   if o.step <= 0. then invalid_arg "Allocation.allocate: step must be positive";
   if o.max_density <= 0. || o.max_density >= 1. then
     invalid_arg "Allocation.allocate: max_density outside (0, 1)";
-  if o.max_iterations < 1 then invalid_arg "Allocation.allocate: max_iterations must be >= 1"
+  if o.max_iterations < 1 then invalid_arg "Allocation.allocate: max_iterations must be >= 1";
+  if o.candidates < 1 then invalid_arg "Allocation.allocate: candidates must be >= 1"
 
-let allocate chip power o =
+let allocate ?pool chip power o =
   validate_options o;
   let nx = chip.Chip_model.nx and ny = chip.Chip_model.ny in
   let ds = Array.make (nx * ny) 0. in
   let history = ref [] in
+  let saturated i = ds.(i) >= o.max_density -. 1e-12 in
+  (* hottest unsaturated tile of the hottest plane *)
+  let hottest_unsaturated result =
+    let top = result.Chip_model.rises.(Array.length result.Chip_model.rises - 1) in
+    let best = ref None in
+    Array.iteri
+      (fun j r ->
+        if not (saturated j) then
+          match !best with Some (_, rb) when rb >= r -> () | _ -> best := Some (j, r))
+      top;
+    Option.map fst !best
+  in
+  (* the classic greedy target: the hottest tile's column, falling back
+     to the hottest unsaturated tile when that column is saturated *)
+  let greedy_target result =
+    let _, hx, hy = result.Chip_model.hottest in
+    let i = (hy * nx) + hx in
+    if not (saturated i) then Some i else hottest_unsaturated result
+  in
+  (* look-ahead selection: score the [candidates] hottest unsaturated
+     tiles — one trial solve each, evaluated over the pool — and commit
+     the one whose grown column cools the chip most.  Ties (and the
+     candidates = 1 case, which skips the trial solves entirely) resolve
+     to the hottest tile, so the legacy greedy behaviour is the exact
+     [candidates = 1] special case. *)
+  let lookahead_target result =
+    let top = result.Chip_model.rises.(Array.length result.Chip_model.rises - 1) in
+    let ranked =
+      Array.to_list (Array.mapi (fun j r -> (j, r)) top)
+      |> List.filter (fun (j, _) -> not (saturated j))
+      |> List.sort (fun (i, a) (j, b) ->
+             match compare b a with 0 -> compare i j | c -> c)
+    in
+    match ranked with
+    | [] -> None
+    | [ (j, _) ] -> Some j
+    | ranked ->
+      let cands =
+        Array.of_list (List.map fst (List.filteri (fun k _ -> k < o.candidates) ranked))
+      in
+      let score j =
+        let trial = Array.copy ds in
+        trial.(j) <- Float.min o.max_density (trial.(j) +. o.step);
+        (Chip_model.solve chip trial power).Chip_model.max_rise
+      in
+      let scores =
+        Ttsv_parallel.Pool.map_array
+          (Option.value pool ~default:Ttsv_parallel.Pool.seq)
+          score cands
+      in
+      (* argmin in candidate (hotness) order: ties keep the hotter tile *)
+      let best = ref 0 in
+      Array.iteri (fun k s -> if s < scores.(!best) then best := k) scores;
+      Some cands.(!best)
+  in
   let rec loop iter result =
     history := result.Chip_model.max_rise :: !history;
     if result.Chip_model.max_rise <= o.budget then (iter, result, true)
     else if iter >= o.max_iterations then (iter, result, false)
     else begin
-      (* grow the via column under the hottest tile; if that column is
-         saturated, fall back to the hottest unsaturated tile across the
-         whole top plane *)
-      let _, hx, hy = result.Chip_model.hottest in
-      let saturated i = ds.(i) >= o.max_density -. 1e-12 in
       let target =
-        let i = (hy * nx) + hx in
-        if not (saturated i) then Some i
-        else begin
-          (* hottest unsaturated tile of the hottest plane *)
-          let top = result.Chip_model.rises.(Array.length result.Chip_model.rises - 1) in
-          let best = ref None in
-          Array.iteri
-            (fun j r ->
-              if not (saturated j) then
-                match !best with
-                | Some (_, rb) when rb >= r -> ()
-                | _ -> best := Some (j, r))
-            top;
-          Option.map fst !best
-        end
+        if o.candidates <= 1 then greedy_target result else lookahead_target result
       in
       match target with
       | None -> (iter, result, false) (* every tile saturated *)

@@ -16,10 +16,16 @@ type options = {
   step : float;  (** density added to the chosen tile per iteration *)
   max_density : float;  (** per-tile density cap, < 1 *)
   max_iterations : int;
+  candidates : int;
+      (** tiles scored per iteration: 1 (default) is the classic greedy
+          hottest-tile rule; [k > 1] trial-solves the [k] hottest
+          unsaturated top-plane tiles and commits the one that cools the
+          chip most (look-ahead) *)
 }
 
 val default_options : budget:float -> options
-(** [step = 0.002], [max_density = 0.2], [max_iterations = 2000]. *)
+(** [step = 0.002], [max_density = 0.2], [max_iterations = 2000],
+    [candidates = 1]. *)
 
 type outcome = {
   densities : Chip_model.densities;  (** the final per-tile allocation *)
@@ -30,11 +36,15 @@ type outcome = {
   history : float array;  (** max rise after each iteration (including start) *)
 }
 
-val allocate : Chip_model.t -> Power_map.t list -> options -> outcome
+val allocate :
+  ?pool:Ttsv_parallel.Pool.t -> Chip_model.t -> Power_map.t list -> options -> outcome
 (** [allocate chip power opts] runs the greedy loop from an empty
     allocation.  Infeasible problems (budget unreachable even at the cap
     everywhere) terminate with [feasible = false] when every tile is
-    saturated or the iteration cap is hit. *)
+    saturated or the iteration cap is hit.  With [candidates > 1] the
+    per-iteration trial solves are evaluated over [pool]; candidate
+    ranking and tie-breaking are deterministic, so the allocation is
+    identical with or without a pool. *)
 
 val metal_area : Chip_model.t -> Chip_model.densities -> float
 (** Total via metal a density allocation spends, m². *)

@@ -6,10 +6,10 @@ module Units = Ttsv_physics.Units
 
 let radii_um = [ 1.; 2.; 3.; 4.; 5.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20. ]
 
-let run ?resolution () =
+let run ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map (fun r -> Params.fig4_stack (Units.um r)) radii_um in
-  let of_list f = Array.of_list (List.map f stacks) in
+  let of_list f = Sweep.map ?pool f stacks in
   let model_a = of_list (fun s -> Model_a.max_rise (Model_a.solve ~coeffs s)) in
   let model_b = of_list (fun s -> Model_b.max_rise (Model_b.solve_n s 100)) in
   let model_1d = of_list (fun s -> Model_1d.max_rise (Model_1d.solve s)) in
@@ -23,8 +23,8 @@ let run ?resolution () =
       { Report.label = "FV"; ys = fv };
     ]
 
-let print ?resolution ppf () =
-  let fig = run ?resolution () in
+let print ?resolution ?pool ppf () =
+  let fig = run ?resolution ?pool () in
   Format.fprintf ppf "@[<v>";
   Report.print_figure ppf fig;
   Format.fprintf ppf "@,Error vs FV reference:@,";

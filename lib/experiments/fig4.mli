@@ -14,9 +14,11 @@
 val radii_um : float list
 (** The sweep points in micrometres. *)
 
-val run : ?resolution:int -> unit -> Report.figure
+val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.figure
 (** [run ()] computes every curve ([resolution] meshes the FV
-    reference). *)
+    reference; [pool] evaluates the sweep points concurrently with
+    results in sweep order). *)
 
-val print : ?resolution:int -> Format.formatter -> unit -> unit
+val print :
+  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit
 (** Runs and renders the figure followed by its error summary. *)

@@ -7,10 +7,10 @@ module Units = Ttsv_physics.Units
 let liners_um = [ 0.5; 1.; 1.5; 2.; 2.5; 3. ]
 let segment_counts = [ 1; 20; 100; 500 ]
 
-let run ?resolution () =
+let run ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map (fun tl -> Params.fig5_stack (Units.um tl)) liners_um in
-  let of_list f = Array.of_list (List.map f stacks) in
+  let of_list f = Sweep.map ?pool f stacks in
   let model_a = of_list (fun s -> Model_a.max_rise (Model_a.solve ~coeffs s)) in
   let model_bs =
     List.map
@@ -29,8 +29,8 @@ let run ?resolution () =
     @ model_bs
     @ [ { Report.label = "Model 1D"; ys = model_1d }; { Report.label = "FV"; ys = fv } ])
 
-let print ?resolution ppf () =
-  let fig = run ?resolution () in
+let print ?resolution ?pool ppf () =
+  let fig = run ?resolution ?pool () in
   Format.fprintf ppf "@[<v>";
   Report.print_figure ppf fig;
   Format.fprintf ppf "@,Error vs FV reference:@,";

@@ -14,6 +14,9 @@ val liners_um : float list
 val segment_counts : int list
 (** The Model B variants shown: 1, 20, 100, 500. *)
 
-val run : ?resolution:int -> unit -> Report.figure
+val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.figure
+(** [pool] evaluates the sweep points concurrently, results in sweep
+    order. *)
 
-val print : ?resolution:int -> Format.formatter -> unit -> unit
+val print :
+  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit

@@ -17,10 +17,10 @@ let subcell stack n =
     ~planes:(Array.to_list stack.Stack.planes)
     ~tsv:(Tsv.divide stack.Stack.tsv n) ()
 
-let run ?resolution () =
+let run ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stack = Params.fig7_stack () in
-  let of_list f = Array.of_list (List.map f divisions) in
+  let of_list f = Sweep.map ?pool f divisions in
   let model_a = of_list (fun n -> Model_a.max_rise (Cluster.solve ~coeffs stack n)) in
   let model_b = of_list (fun n -> Model_b.max_rise (Model_b.solve_n ~cluster:n stack 100)) in
   let model_1d = of_list (fun _ -> Model_1d.max_rise (Model_1d.solve stack)) in
@@ -34,8 +34,8 @@ let run ?resolution () =
       { Report.label = "FV"; ys = fv };
     ]
 
-let print ?resolution ppf () =
-  let fig = run ?resolution () in
+let print ?resolution ?pool ppf () =
+  let fig = run ?resolution ?pool () in
   Format.fprintf ppf "@[<v>";
   Report.print_figure ppf fig;
   Format.fprintf ppf "@,Error vs FV reference:@,";

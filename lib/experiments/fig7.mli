@@ -12,6 +12,9 @@
 
 val divisions : int list
 
-val run : ?resolution:int -> unit -> Report.figure
+val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.figure
+(** [pool] evaluates the sweep points concurrently, results in sweep
+    order. *)
 
-val print : ?resolution:int -> Format.formatter -> unit -> unit
+val print :
+  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit

@@ -28,10 +28,10 @@ let stack_with_planes n =
     ~planes:(plane ~first:true :: List.init (n - 1) (fun _ -> plane ~first:false))
     ~tsv ()
 
-let run ?resolution () =
+let run ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map stack_with_planes plane_counts in
-  let of_list f = Array.of_list (List.map f stacks) in
+  let of_list f = Sweep.map ?pool f stacks in
   Report.figure ~title:"Extension - Max dT [C] vs number of planes" ~x_label:"planes"
     ~x_unit:"-"
     ~xs:(Array.of_list (List.map float_of_int plane_counts))
@@ -51,8 +51,8 @@ let run ?resolution () =
       { Report.label = "FV"; ys = of_list (Reference.max_rise ?resolution) };
     ]
 
-let print ?resolution ppf () =
-  let fig = run ?resolution () in
+let print ?resolution ?pool ppf () =
+  let fig = run ?resolution ?pool () in
   Format.fprintf ppf "@[<v>";
   Report.print_figure ppf fig;
   Format.fprintf ppf "@,Error vs FV reference:@,";

@@ -15,6 +15,9 @@ val plane_counts : int list
 val stack_with_planes : int -> Ttsv_geometry.Stack.t
 (** The N-plane version of the Fig. 5 midpoint geometry. *)
 
-val run : ?resolution:int -> unit -> Report.figure
+val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.figure
+(** [pool] evaluates the sweep points concurrently, results in sweep
+    order. *)
 
-val print : ?resolution:int -> Format.formatter -> unit -> unit
+val print :
+  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit

@@ -54,23 +54,24 @@ let log_sensitivity rise param =
   let mid = rise (perturbed param 1.) in
   (up -. down) /. (2. *. h *. mid)
 
-let sensitivities ?resolution () =
+let sensitivities ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let rise_a s = Model_a.max_rise (Model_a.solve ~coeffs s) in
   let rise_b s = Model_b.max_rise (Model_b.solve_n s 100) in
   let rise_fv s = Reference.max_rise ?resolution s in
-  List.map
-    (fun p ->
-      (p, log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
-    all_parameters
+  Array.to_list
+    (Sweep.map ?pool
+       (fun p ->
+         (p, log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
+       all_parameters)
 
-let run ?resolution () =
+let run ?resolution ?pool () =
   let rows =
     List.map
       (fun (p, a, b, fv) ->
         ( name p,
           [ Printf.sprintf "%+.3f" a; Printf.sprintf "%+.3f" b; Printf.sprintf "%+.3f" fv ] ))
-      (sensitivities ?resolution ())
+      (sensitivities ?resolution ?pool ())
   in
   {
     Report.title = "Sensitivity S = dln(max dT)/dln(p) at the Fig. 5 midpoint";
@@ -78,9 +79,9 @@ let run ?resolution () =
     rows;
   }
 
-let print ?resolution ppf () =
+let print ?resolution ?pool ppf () =
   Format.fprintf ppf "@[<v>";
-  Report.print_table ppf (run ?resolution ());
+  Report.print_table ppf (run ?resolution ?pool ());
   Format.fprintf ppf
     "@,negative S: growing the parameter cools the stack; the models must@,\
      reproduce both sign and magnitude to be usable for design exploration.@]@."

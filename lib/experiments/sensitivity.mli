@@ -17,11 +17,16 @@ val all_parameters : parameter list
 
 val name : parameter -> string
 
-val run : ?resolution:int -> unit -> Report.table
+val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.table
 (** Rows = parameters, columns = S per model plus the FV reference. *)
 
-val sensitivities : ?resolution:int -> unit -> (parameter * float * float * float) list
+val sensitivities :
+  ?resolution:int ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  unit ->
+  (parameter * float * float * float) list
 (** [(param, S_modelA, S_modelB, S_fv)] rows — the raw numbers behind
     {!run}, used by the tests. *)
 
-val print : ?resolution:int -> Format.formatter -> unit -> unit
+val print :
+  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit

@@ -1,0 +1,6 @@
+module Pool = Ttsv_parallel.Pool
+
+let pool_of = function Some p -> p | None -> Pool.seq
+let map_array ?pool f xs = Pool.map_array (pool_of pool) f xs
+let map ?pool f xs = map_array ?pool f (Array.of_list xs)
+let init ?pool n f = map_array ?pool f (Array.init n (fun i -> i))

@@ -1,0 +1,24 @@
+(** Pooled evaluation of independent sweep points.
+
+    Every figure and study in this library is a sweep: a list of stacks
+    (or parameters, or Monte-Carlo samples) mapped through an expensive,
+    independent evaluation.  [Sweep] runs those evaluations across a
+    {!Ttsv_parallel.Pool} while keeping the output in input order —
+    element [i] of the result is always [f] applied to element [i] of
+    the input, whatever the pool's scheduling, so a pooled sweep is
+    indistinguishable from a sequential one.
+
+    Evaluations must be pure (or at least independent); any exception
+    raised by [f] aborts the sweep and is re-raised to the caller. *)
+
+val map : ?pool:Ttsv_parallel.Pool.t -> ('a -> 'b) -> 'a list -> 'b array
+(** [map f xs] evaluates [f] over the points of [xs] — over the pool
+    when one is given, sequentially otherwise — and returns the results
+    in input order. *)
+
+val map_array : ?pool:Ttsv_parallel.Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array-input variant of {!map}. *)
+
+val init : ?pool:Ttsv_parallel.Pool.t -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [Array.init n f] with the points evaluated over the
+    pool (ordered, deterministic). *)

@@ -42,17 +42,21 @@ let sample_stack rng tol =
   Stack.map_planes stack (fun _ p ->
       { p with Plane.substrate = Material.with_conductivity p.Plane.substrate k_si })
 
-let run ?(seed = 42) ?(samples = 2000) ?(tolerances = default_tolerances) ?budget () =
+let run ?(seed = 42) ?(samples = 2000) ?(tolerances = default_tolerances) ?budget ?pool ()
+    =
   if samples < 2 then invalid_arg "Variation.run: need at least two samples";
   let rng = Rng.create seed in
   let nominal =
     Closed_form.max_rise (Closed_form.of_stack ~coeffs:Params.block_coeffs (Params.fig5_stack (Units.um 1.)))
   in
   let budget = match budget with Some b -> b | None -> 1.1 *. nominal in
+  (* the RNG is stateful: draw every sample sequentially, then evaluate
+     the (independent) rises over the pool in sample order *)
+  let stacks = Array.init samples (fun _ -> sample_stack rng tolerances) in
   let rises =
-    Array.init samples (fun _ ->
-        let stack = sample_stack rng tolerances in
-        Closed_form.max_rise (Closed_form.of_stack ~coeffs:Params.block_coeffs stack))
+    Sweep.map_array ?pool
+      (fun stack -> Closed_form.max_rise (Closed_form.of_stack ~coeffs:Params.block_coeffs stack))
+      stacks
   in
   let within = Array.fold_left (fun acc r -> if r <= budget then acc + 1 else acc) 0 rises in
   {
@@ -88,9 +92,9 @@ let to_table s =
       ];
   }
 
-let print ppf () =
+let print ?pool ppf () =
   Format.fprintf ppf "@[<v>";
-  Report.print_table ppf (to_table (run ()));
+  Report.print_table ppf (to_table (run ?pool ()));
   Format.fprintf ppf
     "@,each sample is one closed-form Model A evaluation: the Monte-Carlo@,\
      study costs less than a single FEM run, the paper's core argument.@]@."

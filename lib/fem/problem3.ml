@@ -90,8 +90,9 @@ let grid_centers_for_cluster stack n =
              ( side *. (float_of_int i +. 0.5) /. float_of_int m,
                side *. (float_of_int j +. 0.5) /. float_of_int m ))))
 
-let of_stack ?(resolution = 1) ?via_centers stack =
+let of_stack ?(resolution = 1) ?via_centers ?pool stack =
   if resolution < 1 then invalid_arg "Problem3.of_stack: resolution must be >= 1";
+  let pool = Option.value pool ~default:Ttsv_parallel.Pool.seq in
   let side = sqrt stack.Stack.footprint in
   let tsv = stack.Stack.tsv in
   let r_in = tsv.Tsv.radius and r_out = Tsv.outer_radius tsv in
@@ -141,46 +142,53 @@ let of_stack ?(resolution = 1) ?via_centers stack =
   (* per-layer raw deposited power, for normalization to the analytic
      wattage (see the interface) *)
   let silicon_area = Stack.silicon_area stack in
+  let plane = nx * ny in
+  let fill_chunk = 1024 in
   let row0 = ref 0 in
   List.iter
     (fun (l : Layers.t) ->
       let rows = l.Layers.ncells in
-      let raw = ref 0. in
-      for dz_row = 0 to rows - 1 do
-        let iz = !row0 + dz_row in
-        for iy = 0 to ny - 1 do
-          for ix = 0 to nx - 1 do
-            let xc = Grid3.x_center grid ix and yc = Grid3.y_center grid iy in
-            let d = nearest_via_distance xc yc in
-            let idx = Grid3.index grid ix iy iz in
-            conductivity.(idx) <- cell_conductivity l ix iy;
-            let heated = if l.Layers.annular_source then d > r_out else true in
-            if heated && l.Layers.source_density > 0. then begin
-              let w = l.Layers.source_density *. Grid3.volume grid ix iy iz in
-              source.(idx) <- w;
-              raw := !raw +. w
-            end
-          done
-        done
-      done;
+      (* a layer occupies the contiguous index range [base, base + m):
+         fill it per-chunk over the pool, accumulating the raw deposited
+         power with a chunk-deterministic reduction so pooled and
+         sequential builds agree bitwise *)
+      let base = !row0 * plane in
+      let m = rows * plane in
+      let fill j =
+        let idx = base + j in
+        let ix = idx mod nx and iy = idx / nx mod ny and iz = idx / plane in
+        let d = nearest_via_distance (Grid3.x_center grid ix) (Grid3.y_center grid iy) in
+        conductivity.(idx) <- cell_conductivity l ix iy;
+        let heated = if l.Layers.annular_source then d > r_out else true in
+        if heated && l.Layers.source_density > 0. then begin
+          let w = l.Layers.source_density *. Grid3.volume grid ix iy iz in
+          source.(idx) <- w;
+          w
+        end
+        else 0.
+      in
+      let raw =
+        Ttsv_parallel.Pool.map_reduce ~chunk:fill_chunk pool ~n:m
+          ~map:(fun ~lo ~hi ->
+            let acc = ref 0. in
+            for j = lo to hi - 1 do
+              acc := !acc +. fill j
+            done;
+            !acc)
+          ~reduce:( +. ) ~init:0.
+      in
       (* normalize the slab to the analytic wattage *)
       if l.Layers.source_density > 0. then begin
         let area =
           if l.Layers.annular_source then silicon_area else stack.Stack.footprint
         in
         let target = l.Layers.source_density *. l.Layers.thickness *. area in
-        if !raw <= 0. then
-          invalid_arg "Problem3.of_stack: a heated slab received no cells";
-        let scale = target /. !raw in
-        for dz_row = 0 to rows - 1 do
-          let iz = !row0 + dz_row in
-          for iy = 0 to ny - 1 do
-            for ix = 0 to nx - 1 do
-              let idx = Grid3.index grid ix iy iz in
-              source.(idx) <- source.(idx) *. scale
-            done
-          done
-        done
+        if raw <= 0. then invalid_arg "Problem3.of_stack: a heated slab received no cells";
+        let scale = target /. raw in
+        Ttsv_parallel.Pool.for_chunks ~chunk:fill_chunk pool m (fun ~lo ~hi ->
+            for j = lo to hi - 1 do
+              source.(base + j) <- source.(base + j) *. scale
+            done)
       end;
       row0 := !row0 + rows)
     layers;

@@ -26,13 +26,20 @@ val make : grid:Grid3.t -> conductivity:float array -> source:float array -> t
 (** Validated direct constructor (tests). *)
 
 val of_stack :
-  ?resolution:int -> ?via_centers:(float * float) list -> Ttsv_geometry.Stack.t -> t
+  ?resolution:int ->
+  ?via_centers:(float * float) list ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  Ttsv_geometry.Stack.t ->
+  t
 (** [of_stack ?resolution ?via_centers stack] builds the square-cell
     problem.  The cell is [s × s] with [s = √footprint].  [via_centers]
     (metres, relative to the cell's corner) defaults to one via at the
     centre; every via uses the stack's TSV geometry and must lie inside
     the cell.  [resolution] scales both the lateral grid (24·resolution
-    cells per side) and the axial {!Layers} meshing. *)
+    cells per side) and the axial {!Layers} meshing.  [pool] fills the
+    conductivity/source fields per-chunk across a domain pool; the
+    chunk-deterministic power reduction makes the pooled build bitwise
+    identical to the sequential one. *)
 
 val grid_centers_for_cluster : Ttsv_geometry.Stack.t -> int -> (float * float) list
 (** [grid_centers_for_cluster stack n] lays the √n × √n regular array of

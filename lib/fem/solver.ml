@@ -17,57 +17,92 @@ type result = {
    internal face of area [a]. *)
 let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
 
-let assemble ?bottom_h ?extra_diagonal (p : Problem.t) =
+(* Row-direct CSR assembly: each matrix row is built independently —
+   neighbour columns in ascending order, the diagonal accumulated in a
+   fixed (-z, -r, +r, +z, boundary, extra) order — so rows can be filled
+   per-chunk across a domain pool and the pooled matrix is bitwise
+   identical to the sequential one.  Face conductances are evaluated in a
+   canonical (lower-index) orientation, so the two rows sharing a face
+   store exactly opposite off-diagonal values. *)
+let assemble ?pool ?bottom_h ?extra_diagonal (p : Problem.t) =
   let g = p.Problem.grid in
   let nr = Grid.nr g and nz = Grid.nz g in
   let n = nr * nz in
-  let b = Sparse.builder ~hint:(5 * n) n n in
-  let k ir iz = p.Problem.conductivity.(Grid.index g ir iz) in
-  let stamp i j cond =
-    Sparse.add b i i cond;
-    Sparse.add b j j cond;
-    Sparse.add b i j (-.cond);
-    Sparse.add b j i (-.cond)
-  in
-  for iz = 0 to nz - 1 do
-    for ir = 0 to nr - 1 do
-      let idx = Grid.index g ir iz in
-      (* radial neighbour (ir+1) *)
-      if ir < nr - 1 then begin
-        let a = Grid.radial_face_area g ir iz in
-        let d1 = 0.5 *. Grid.dr g ir and d2 = 0.5 *. Grid.dr g (ir + 1) in
-        let cond = face_conductance a d1 (k ir iz) d2 (k (ir + 1) iz) in
-        stamp idx (Grid.index g (ir + 1) iz) cond
-      end;
-      (* axial neighbour (iz+1) *)
-      if iz < nz - 1 then begin
-        let a = Grid.axial_face_area g ir in
-        let d1 = 0.5 *. Grid.dz g iz and d2 = 0.5 *. Grid.dz g (iz + 1) in
-        let cond = face_conductance a d1 (k ir iz) d2 (k ir (iz + 1)) in
-        stamp idx (Grid.index g ir (iz + 1)) cond
-      end;
-      (* bottom boundary: isothermal sink across the half cell, or a
-         convective film in series with it *)
-      if iz = 0 then begin
-        let a = Grid.axial_face_area g ir in
-        let half_cell = 0.5 *. Grid.dz g iz /. (a *. k ir iz) in
-        let cond =
-          match bottom_h with
-          | None -> 1. /. half_cell
-          | Some h ->
-            if h <= 0. then invalid_arg "Solver.solve: bottom_h must be positive";
-            1. /. (half_cell +. (1. /. (h *. a)))
-        in
-        Sparse.add b idx idx cond
-      end
-    done
-  done;
   (match extra_diagonal with
-  | None -> ()
-  | Some d ->
-    if Array.length d <> n then invalid_arg "Solver.assemble: extra diagonal length mismatch";
-    Array.iteri (fun i x -> Sparse.add b i i x) d);
-  Sparse.finalize b
+  | Some d when Array.length d <> n ->
+    invalid_arg "Solver.assemble: extra diagonal length mismatch"
+  | Some _ | None -> ());
+  (match bottom_h with
+  | Some h when h <= 0. -> invalid_arg "Solver.solve: bottom_h must be positive"
+  | Some _ | None -> ());
+  let k ir iz = p.Problem.conductivity.(Grid.index g ir iz) in
+  let cond_r ir iz =
+    face_conductance (Grid.radial_face_area g ir iz)
+      (0.5 *. Grid.dr g ir)
+      (k ir iz)
+      (0.5 *. Grid.dr g (ir + 1))
+      (k (ir + 1) iz)
+  in
+  let cond_z ir iz =
+    face_conductance (Grid.axial_face_area g ir)
+      (0.5 *. Grid.dz g iz)
+      (k ir iz)
+      (0.5 *. Grid.dz g (iz + 1))
+      (k ir (iz + 1))
+  in
+  (* bottom boundary: isothermal sink across the half cell, or a
+     convective film in series with it *)
+  let bottom_cond ir =
+    let a = Grid.axial_face_area g ir in
+    let half_cell = 0.5 *. Grid.dz g 0 /. (a *. k ir 0) in
+    match bottom_h with
+    | None -> 1. /. half_cell
+    | Some h -> 1. /. (half_cell +. (1. /. (h *. a)))
+  in
+  let row_ptr = Array.make (n + 1) 0 in
+  for idx = 0 to n - 1 do
+    let ir = idx mod nr and iz = idx / nr in
+    let nn =
+      (if iz > 0 then 1 else 0)
+      + (if ir > 0 then 1 else 0)
+      + (if ir < nr - 1 then 1 else 0)
+      + if iz < nz - 1 then 1 else 0
+    in
+    row_ptr.(idx + 1) <- nn + 1
+  done;
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let col_idx = Array.make row_ptr.(n) 0 in
+  let values = Array.make row_ptr.(n) 0. in
+  let fill_row idx =
+    let ir = idx mod nr and iz = idx / nr in
+    let pos = ref row_ptr.(idx) in
+    let diag = ref 0. in
+    let off j c =
+      col_idx.(!pos) <- j;
+      values.(!pos) <- -.c;
+      incr pos;
+      diag := !diag +. c
+    in
+    if iz > 0 then off (idx - nr) (cond_z ir (iz - 1));
+    if ir > 0 then off (idx - 1) (cond_r (ir - 1) iz);
+    let dslot = !pos in
+    col_idx.(dslot) <- idx;
+    incr pos;
+    if ir < nr - 1 then off (idx + 1) (cond_r ir iz);
+    if iz < nz - 1 then off (idx + nr) (cond_z ir iz);
+    if iz = 0 then diag := !diag +. bottom_cond ir;
+    (match extra_diagonal with None -> () | Some d -> diag := !diag +. d.(idx));
+    values.(dslot) <- !diag
+  in
+  (match pool with
+  | None ->
+    for idx = 0 to n - 1 do
+      fill_row idx
+    done
+  | Some pool -> Ttsv_parallel.Pool.parallel_for ~chunk:64 ~min_size:256 pool n fill_row);
+  Sparse.of_csr ~nrows:n ~ncols:n ~row_ptr ~col_idx ~values
 
 (* Reject physically meaningless fields before assembling: a single NaN
    conductivity or source poisons the whole system. *)
@@ -91,14 +126,14 @@ let invalid_input problems =
     best_residual = Float.nan;
   }
 
-let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate p =
+let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool p =
   match check_problem p with
   | _ :: _ as problems -> Error (invalid_input problems)
   | [] -> (
-    let matrix = assemble ?bottom_h p in
+    let matrix = assemble ?pool ?bottom_h p in
     let n = Sparse.rows matrix in
     let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
-    match Robust.solve ~tol ~max_iter ?on_iterate matrix p.Problem.source with
+    match Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem.source with
     | Error f -> Error f
     | Ok (x, d) ->
       Ok
@@ -110,8 +145,8 @@ let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate p =
           diagnostics = d;
         })
 
-let solve ?tol ?max_iter ?bottom_h ?on_iterate p =
-  match try_solve ?tol ?max_iter ?bottom_h ?on_iterate p with
+let solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool p =
+  match try_solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool p with
   | Ok r -> r
   | Error f -> raise (Robust.Solve_failed f)
 
@@ -119,7 +154,8 @@ let max_rise r = Array.fold_left Float.max 0. r.temps
 
 type transient = { times : float array; max_rises : float array; final : result }
 
-let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ~materials ~dt ~steps p =
+let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ?pool ~materials ~dt
+    ~steps p =
   if dt <= 0. then invalid_arg "Solver.solve_transient: dt must be positive";
   if steps < 1 then invalid_arg "Solver.solve_transient: steps must be >= 1";
   let n = Array.length p.Problem.conductivity in
@@ -137,7 +173,7 @@ let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ~materials ~
      system matrix is assembled once and every step warm-starts CG from the
      previous instant *)
   let cdt = Array.map (fun c -> c /. dt) caps in
-  let system = assemble ?bottom_h ~extra_diagonal:cdt p in
+  let system = assemble ?pool ?bottom_h ~extra_diagonal:cdt p in
   let times = Array.make (steps + 1) 0. in
   let maxes = Array.make (steps + 1) 0. in
   let temps = ref (Array.make n 0.) in
@@ -150,7 +186,7 @@ let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ~materials ~
       Array.init n (fun i -> (p.Problem.source.(i) *. scale) +. (cdt.(i) *. !temps.(i)))
     in
     let x, d =
-      Robust.solve_exn ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps system rhs
+      Robust.solve_exn ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps ?pool system rhs
     in
     temps := x;
     total_iters := !total_iters + d.Diagnostics.iterations;

@@ -21,11 +21,25 @@ type result = {
   diagnostics : Ttsv_robust.Diagnostics.t;  (** which solver rungs fired and why *)
 }
 
+val assemble :
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?bottom_h:float ->
+  ?extra_diagonal:float array ->
+  Problem.t ->
+  Ttsv_numerics.Sparse.t
+(** [assemble p] builds the finite-volume conductance matrix in CSR form,
+    row by row.  [extra_diagonal], when given, is added to the matrix
+    diagonal (used by the transient stepper for the C/Δt term;
+    length-checked).  [pool] fills disjoint row chunks across a domain
+    pool; chunk boundaries and per-row evaluation order are fixed, so the
+    pooled matrix is bitwise identical to the sequential one. *)
+
 val try_solve :
   ?tol:float ->
   ?max_iter:int ->
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Problem.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves, escalating through the
@@ -36,13 +50,15 @@ val try_solve :
     are then above the coolant, not the die surface.  [on_iterate]
     observes every linear iteration.  Non-finite or non-positive
     conductivities and non-finite sources are rejected up front as
-    [Invalid_input]. *)
+    [Invalid_input].  [pool] parallelizes assembly and the iterative
+    rungs; results are bitwise identical to a sequential solve. *)
 
 val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Problem.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}
@@ -58,6 +74,7 @@ val solve_transient :
   ?tol:float ->
   ?bottom_h:float ->
   ?power:(float -> float) ->
+  ?pool:Ttsv_parallel.Pool.t ->
   materials:Ttsv_physics.Material.t array ->
   dt:float ->
   steps:int ->

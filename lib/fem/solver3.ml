@@ -12,70 +12,95 @@ type result = {
 
 let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
 
-let assemble (p : Problem3.t) =
+(* Row-direct CSR assembly, mirroring the 2-D {!Solver.assemble}: every
+   row is built independently with neighbour columns in ascending order
+   and a fixed diagonal accumulation order (-z, -y, -x, +x, +y, +z,
+   boundary), so rows can be filled per-chunk across a domain pool and
+   the pooled matrix is bitwise identical to the sequential one.  Face
+   conductances are evaluated in the lower-index orientation so both
+   rows sharing a face store exactly opposite off-diagonal values. *)
+let assemble ?pool (p : Problem3.t) =
   let g = p.Problem3.grid in
   let nx = Grid3.nx g and ny = Grid3.ny g and nz = Grid3.nz g in
   let n = nx * ny * nz in
-  let b = Sparse.builder ~hint:(7 * n) n n in
+  let plane = nx * ny in
   let k ix iy iz = p.Problem3.conductivity.(Grid3.index g ix iy iz) in
-  let stamp i j cond =
-    Sparse.add b i i cond;
-    Sparse.add b j j cond;
-    Sparse.add b i j (-.cond);
-    Sparse.add b j i (-.cond)
+  let cond_x ix iy iz =
+    face_conductance (Grid3.face_area_x g iy iz)
+      (0.5 *. Grid3.dx g ix)
+      (k ix iy iz)
+      (0.5 *. Grid3.dx g (ix + 1))
+      (k (ix + 1) iy iz)
   in
-  for iz = 0 to nz - 1 do
-    for iy = 0 to ny - 1 do
-      for ix = 0 to nx - 1 do
-        let idx = Grid3.index g ix iy iz in
-        if ix < nx - 1 then begin
-          let a = Grid3.face_area_x g iy iz in
-          let cond =
-            face_conductance a
-              (0.5 *. Grid3.dx g ix)
-              (k ix iy iz)
-              (0.5 *. Grid3.dx g (ix + 1))
-              (k (ix + 1) iy iz)
-          in
-          stamp idx (Grid3.index g (ix + 1) iy iz) cond
-        end;
-        if iy < ny - 1 then begin
-          let a = Grid3.face_area_y g ix iz in
-          let cond =
-            face_conductance a
-              (0.5 *. Grid3.dy g iy)
-              (k ix iy iz)
-              (0.5 *. Grid3.dy g (iy + 1))
-              (k ix (iy + 1) iz)
-          in
-          stamp idx (Grid3.index g ix (iy + 1) iz) cond
-        end;
-        if iz < nz - 1 then begin
-          let a = Grid3.face_area_z g ix iy in
-          let cond =
-            face_conductance a
-              (0.5 *. Grid3.dz g iz)
-              (k ix iy iz)
-              (0.5 *. Grid3.dz g (iz + 1))
-              (k ix iy (iz + 1))
-          in
-          stamp idx (Grid3.index g ix iy (iz + 1)) cond
-        end;
-        if iz = 0 then begin
-          (* isothermal sink across the bottom half cell *)
-          let a = Grid3.face_area_z g ix iy in
-          Sparse.add b idx idx (a *. k ix iy iz /. (0.5 *. Grid3.dz g iz))
-        end
-      done
-    done
+  let cond_y ix iy iz =
+    face_conductance (Grid3.face_area_y g ix iz)
+      (0.5 *. Grid3.dy g iy)
+      (k ix iy iz)
+      (0.5 *. Grid3.dy g (iy + 1))
+      (k ix (iy + 1) iz)
+  in
+  let cond_z ix iy iz =
+    face_conductance (Grid3.face_area_z g ix iy)
+      (0.5 *. Grid3.dz g iz)
+      (k ix iy iz)
+      (0.5 *. Grid3.dz g (iz + 1))
+      (k ix iy (iz + 1))
+  in
+  (* isothermal sink across the bottom half cell *)
+  let bottom_cond ix iy = Grid3.face_area_z g ix iy *. k ix iy 0 /. (0.5 *. Grid3.dz g 0) in
+  let row_ptr = Array.make (n + 1) 0 in
+  for idx = 0 to n - 1 do
+    let ix = idx mod nx and iy = idx / nx mod ny and iz = idx / plane in
+    let nn =
+      (if iz > 0 then 1 else 0)
+      + (if iy > 0 then 1 else 0)
+      + (if ix > 0 then 1 else 0)
+      + (if ix < nx - 1 then 1 else 0)
+      + (if iy < ny - 1 then 1 else 0)
+      + if iz < nz - 1 then 1 else 0
+    in
+    row_ptr.(idx + 1) <- nn + 1
   done;
-  Sparse.finalize b
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let col_idx = Array.make row_ptr.(n) 0 in
+  let values = Array.make row_ptr.(n) 0. in
+  let fill_row idx =
+    let ix = idx mod nx and iy = idx / nx mod ny and iz = idx / plane in
+    let pos = ref row_ptr.(idx) in
+    let diag = ref 0. in
+    let off j c =
+      col_idx.(!pos) <- j;
+      values.(!pos) <- -.c;
+      incr pos;
+      diag := !diag +. c
+    in
+    if iz > 0 then off (idx - plane) (cond_z ix iy (iz - 1));
+    if iy > 0 then off (idx - nx) (cond_y ix (iy - 1) iz);
+    if ix > 0 then off (idx - 1) (cond_x (ix - 1) iy iz);
+    let dslot = !pos in
+    col_idx.(dslot) <- idx;
+    incr pos;
+    if ix < nx - 1 then off (idx + 1) (cond_x ix iy iz);
+    if iy < ny - 1 then off (idx + nx) (cond_y ix iy iz);
+    if iz < nz - 1 then off (idx + plane) (cond_z ix iy iz);
+    if iz = 0 then diag := !diag +. bottom_cond ix iy;
+    values.(dslot) <- !diag
+  in
+  (match pool with
+  | None ->
+    for idx = 0 to n - 1 do
+      fill_row idx
+    done
+  | Some pool -> Ttsv_parallel.Pool.parallel_for ~chunk:64 ~min_size:256 pool n fill_row);
+  Sparse.of_csr ~nrows:n ~ncols:n ~row_ptr ~col_idx ~values
 
-let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate p =
-  let matrix = assemble p in
+let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate ?pool p =
+  let matrix = assemble ?pool p in
   let n = Sparse.rows matrix in
   let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 4000 (10 * n) in
-  match Robust.solve ~tol ~max_iter ?on_iterate matrix p.Problem3.source with
+  match Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem3.source with
   | Error f -> Error f
   | Ok (x, d) ->
     Ok
@@ -87,8 +112,8 @@ let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate p =
         diagnostics = d;
       }
 
-let solve ?tol ?max_iter ?on_iterate p =
-  match try_solve ?tol ?max_iter ?on_iterate p with
+let solve ?tol ?max_iter ?on_iterate ?pool p =
+  match try_solve ?tol ?max_iter ?on_iterate ?pool p with
   | Ok r -> r
   | Error f -> raise (Robust.Solve_failed f)
 

@@ -14,19 +14,28 @@ type result = {
   diagnostics : Ttsv_robust.Diagnostics.t;
 }
 
+val assemble : ?pool:Ttsv_parallel.Pool.t -> Problem3.t -> Ttsv_numerics.Sparse.t
+(** [assemble p] builds the 3-D conductance matrix in CSR form, row by
+    row.  [pool] fills disjoint row chunks across a domain pool; the
+    pooled matrix is bitwise identical to the sequential one. *)
+
 val try_solve :
   ?tol:float ->
   ?max_iter:int ->
   ?on_iterate:(int -> float -> unit) ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Problem3.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves ([tol] defaults to [1e-9]);
-    every failure is a typed {!Ttsv_robust.Robust.failure}. *)
+    every failure is a typed {!Ttsv_robust.Robust.failure}.  [pool]
+    parallelizes assembly and the iterative rungs without changing any
+    computed bit. *)
 
 val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?on_iterate:(int -> float -> unit) ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Problem3.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}. *)

@@ -79,9 +79,15 @@ let rejected n x0 where =
     trace = [||];
   }
 
-(* Jacobi-preconditioned conjugate gradients. *)
+(* Jacobi-preconditioned conjugate gradients.
+
+   Every reduction (dots, residual norms) goes through the chunked
+   [Vec.pdot]/[Vec.pnorm2], whose value does not depend on the pool: the
+   stagnation/divergence guard therefore observes the *same* residual
+   sequence whether the matvec is pooled or not, and a pooled run takes
+   exactly the iteration count of a sequential one. *)
 let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) a b =
+    ?(divergence_factor = default_divergence_factor) ?pool a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.cg: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.cg: rhs dimension mismatch";
@@ -93,26 +99,26 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     let d = Sparse.diagonal a in
     let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
     let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-    let r = Vec.sub b (Sparse.mat_vec a x) in
+    let r = Vec.sub b (Sparse.mul ?pool a x) in
     let z = Vec.map2 ( *. ) precond r in
     let p = Vec.copy z in
     let nb = norm_b_floor b in
-    let rz = ref (Vec.dot r z) in
-    let res = ref (Vec.norm2 r /. nb) in
+    let rz = ref (Vec.pdot ?pool r z) in
+    let res = ref (Vec.pnorm2 ?pool r /. nb) in
     let trace = ref [ !res ] in
     let iter = ref 0 in
     let best = ref !res and best_iter = ref 0 in
     let status = ref (if !res <= tol then Some Converged else None) in
     while !status = None && !iter < max_iter do
       incr iter;
-      let ap = Sparse.mat_vec a p in
-      let pap = Vec.dot p ap in
+      let ap = Sparse.mul ?pool a p in
+      let pap = Vec.pdot ?pool p ap in
       if Float.abs pap < 1e-300 then status := Some (Breakdown "p.Ap underflow")
       else begin
         let alpha = !rz /. pap in
-        Vec.axpy alpha p x;
-        Vec.axpy (-.alpha) ap r;
-        res := Vec.norm2 r /. nb;
+        Vec.paxpy ?pool alpha p x;
+        Vec.paxpy ?pool (-.alpha) ap r;
+        res := Vec.pnorm2 ?pool r /. nb;
         trace := !res :: !trace;
         notify on_iterate !iter !res;
         if !res <= tol then status := Some Converged
@@ -125,7 +131,7 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
           | None -> ());
           if !status = None then begin
             let z' = Vec.map2 ( *. ) precond r in
-            let rz' = Vec.dot r z' in
+            let rz' = Vec.pdot ?pool r z' in
             let beta = rz' /. !rz in
             rz := rz';
             for i = 0 to n - 1 do
@@ -143,7 +149,7 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     let residual =
       match status with
       | Converged -> !res
-      | _ -> Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb
+      | _ -> Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb
     in
     let converged = Float.is_finite residual && residual <= tol in
     {
@@ -159,9 +165,11 @@ let cg_exn ?tol ?max_iter ?x0 a b =
   let r = cg ?tol ?max_iter ?x0 a b in
   if r.converged then r.solution else raise (Not_converged r)
 
-(* Jacobi-preconditioned BiCGStab (van der Vorst). *)
+(* Jacobi-preconditioned BiCGStab (van der Vorst).  Same pooled-kernel
+   discipline as [cg]: reductions are chunk-deterministic, so the guard
+   sees identical residuals with or without a pool. *)
 let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) a b =
+    ?(divergence_factor = default_divergence_factor) ?pool a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.bicgstab: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.bicgstab: rhs dimension mismatch";
@@ -174,19 +182,19 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
     let apply_m v = Vec.map2 ( *. ) precond v in
     let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-    let r = Vec.sub b (Sparse.mat_vec a x) in
+    let r = Vec.sub b (Sparse.mul ?pool a x) in
     let r_hat = Vec.copy r in
     let nb = norm_b_floor b in
     let rho = ref 1. and alpha = ref 1. and omega = ref 1. in
     let v = Vec.zeros n and p = Vec.zeros n in
-    let res = ref (Vec.norm2 r /. nb) in
+    let res = ref (Vec.pnorm2 ?pool r /. nb) in
     let trace = ref [ !res ] in
     let iter = ref 0 in
     let best = ref !res and best_iter = ref 0 in
     let status = ref (if !res <= tol then Some Converged else None) in
     while !status = None && !iter < max_iter do
       incr iter;
-      let rho' = Vec.dot r_hat r in
+      let rho' = Vec.pdot ?pool r_hat r in
       if Float.abs rho' < 1e-300 then status := Some (Breakdown "rho underflow")
       else begin
         let beta = rho' /. !rho *. (!alpha /. !omega) in
@@ -195,34 +203,34 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
           p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
         done;
         let p_hat = apply_m p in
-        let v' = Sparse.mat_vec a p_hat in
+        let v' = Sparse.mul ?pool a p_hat in
         Array.blit v' 0 v 0 n;
-        let denom = Vec.dot r_hat v in
+        let denom = Vec.pdot ?pool r_hat v in
         if Float.abs denom < 1e-300 then status := Some (Breakdown "r_hat.v underflow")
         else begin
           alpha := rho' /. denom;
           let s = Vec.copy r in
-          Vec.axpy (-. !alpha) v s;
-          if Vec.norm2 s /. nb <= tol then begin
-            Vec.axpy !alpha p_hat x;
-            res := Vec.norm2 s /. nb;
+          Vec.paxpy ?pool (-. !alpha) v s;
+          if Vec.pnorm2 ?pool s /. nb <= tol then begin
+            Vec.paxpy ?pool !alpha p_hat x;
+            res := Vec.pnorm2 ?pool s /. nb;
             trace := !res :: !trace;
             notify on_iterate !iter !res;
             status := Some Converged
           end
           else begin
             let s_hat = apply_m s in
-            let t = Sparse.mat_vec a s_hat in
-            let tt = Vec.dot t t in
+            let t = Sparse.mul ?pool a s_hat in
+            let tt = Vec.pdot ?pool t t in
             if Float.abs tt < 1e-300 then status := Some (Breakdown "t.t underflow")
             else begin
-              omega := Vec.dot t s /. tt;
-              Vec.axpy !alpha p_hat x;
-              Vec.axpy !omega s_hat x;
+              omega := Vec.pdot ?pool t s /. tt;
+              Vec.paxpy ?pool !alpha p_hat x;
+              Vec.paxpy ?pool !omega s_hat x;
               let r' = Vec.copy s in
-              Vec.axpy (-. !omega) t r';
+              Vec.paxpy ?pool (-. !omega) t r';
               Array.blit r' 0 r 0 n;
-              res := Vec.norm2 r /. nb;
+              res := Vec.pnorm2 ?pool r /. nb;
               trace := !res :: !trace;
               notify on_iterate !iter !res;
               if !res <= tol then status := Some Converged
@@ -240,7 +248,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     done;
     let status = match !status with Some s -> s | None -> Iteration_limit in
     (* recompute true residual for the report *)
-    let true_res = Vec.norm2 (Vec.sub b (Sparse.mat_vec a x)) /. nb in
+    let true_res = Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb in
     let converged = Float.is_finite true_res && true_res <= tol in
     {
       solution = x;

@@ -44,6 +44,7 @@ val cg :
   ?on_iterate:(int -> float -> unit) ->
   ?stagnation_window:int ->
   ?divergence_factor:float ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Sparse.t ->
   Vec.t ->
   result
@@ -58,7 +59,13 @@ val cg :
     [divergence_factor] (default [1e4]) tune the health guards.  When
     the loop exits on anything but a
     verified [residual <= tol], the true residual [||b - A x|| / ||b||]
-    is recomputed before reporting, so [converged] cannot be stale. *)
+    is recomputed before reporting, so [converged] cannot be stale.
+
+    [pool], when given, runs the matvec and the BLAS-1 kernels across
+    the domain pool.  All reductions are chunk-deterministic
+    ({!Vec.pdot}), so a pooled run observes the exact residual sequence
+    of a sequential run — same iterates, same guard decisions, same
+    iteration count. *)
 
 val cg_exn : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
 (** Like {!cg} but returns the solution directly and raises
@@ -71,12 +78,13 @@ val bicgstab :
   ?on_iterate:(int -> float -> unit) ->
   ?stagnation_window:int ->
   ?divergence_factor:float ->
+  ?pool:Ttsv_parallel.Pool.t ->
   Sparse.t ->
   Vec.t ->
   result
 (** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning.
-    Guards and callbacks as in {!cg}; the reported residual is always the
-    recomputed true residual. *)
+    Guards, callbacks and the [pool] determinism contract as in {!cg};
+    the reported residual is always the recomputed true residual. *)
 
 val jacobi : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
 (** Pointwise Jacobi iteration; requires a nonzero diagonal. *)

@@ -96,18 +96,54 @@ let finalize b =
     values = Array.sub val_out 0 !out;
   }
 
+let of_csr ~nrows ~ncols ~row_ptr ~col_idx ~values =
+  if nrows < 0 || ncols < 0 then invalid_arg "Sparse.of_csr: negative dimension";
+  if Array.length row_ptr <> nrows + 1 then invalid_arg "Sparse.of_csr: row_ptr length";
+  if Array.length col_idx <> Array.length values then
+    invalid_arg "Sparse.of_csr: col_idx/values length mismatch";
+  if nrows > 0 && row_ptr.(0) <> 0 then invalid_arg "Sparse.of_csr: row_ptr must start at 0";
+  if (nrows = 0 || row_ptr.(nrows) = Array.length values) = false then
+    invalid_arg "Sparse.of_csr: row_ptr end does not match nnz";
+  for i = 0 to nrows - 1 do
+    if row_ptr.(i + 1) < row_ptr.(i) then invalid_arg "Sparse.of_csr: row_ptr not monotone";
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if col_idx.(k) < 0 || col_idx.(k) >= ncols then
+        invalid_arg "Sparse.of_csr: column index out of range";
+      if k > row_ptr.(i) && col_idx.(k) <= col_idx.(k - 1) then
+        invalid_arg "Sparse.of_csr: columns not strictly increasing within a row"
+    done
+  done;
+  { nrows; ncols; row_ptr; col_idx; values }
+
 let rows m = m.nrows
 let cols m = m.ncols
 let nnz m = Array.length m.values
 
+let row_dot m (x : float array) i =
+  let acc = ref 0. in
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+  done;
+  !acc
+
 let mat_vec m x =
   if Array.length x <> m.ncols then invalid_arg "Sparse.mat_vec: dimension mismatch";
-  Array.init m.nrows (fun i ->
-      let acc = ref 0. in
-      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
-      done;
-      !acc)
+  Array.init m.nrows (fun i -> row_dot m x i)
+
+(* Row-parallel product: each row is one accumulation in the same order
+   as [mat_vec], written to a disjoint slot, so the pooled result is
+   bitwise identical to the sequential one. *)
+let mul ?pool m x =
+  match pool with
+  | None -> mat_vec m x
+  | Some pool ->
+    if Array.length x <> m.ncols then invalid_arg "Sparse.mul: dimension mismatch";
+    let out = Array.make m.nrows 0. in
+    Ttsv_parallel.Pool.for_chunks ~chunk:256 ~min_size:512 pool m.nrows (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- row_dot m x i
+        done);
+    out
 
 let diagonal m =
   Array.init m.nrows (fun i ->

@@ -30,8 +30,27 @@ val cols : t -> int
 val nnz : t -> int
 (** Number of stored entries. *)
 
+val of_csr :
+  nrows:int ->
+  ncols:int ->
+  row_ptr:int array ->
+  col_idx:int array ->
+  values:float array ->
+  t
+(** [of_csr ~nrows ~ncols ~row_ptr ~col_idx ~values] adopts pre-built
+    CSR arrays (no copy) — the fast path for assemblers that construct
+    rows directly, e.g. the chunked FEM assembly.  Validates monotone
+    [row_ptr] and strictly increasing in-range columns per row; raises
+    [Invalid_argument] otherwise. *)
+
 val mat_vec : t -> Vec.t -> Vec.t
 (** [mat_vec m x] is the product [m * x]. *)
+
+val mul : ?pool:Ttsv_parallel.Pool.t -> t -> Vec.t -> Vec.t
+(** Pool-aware {!mat_vec}: rows are computed across the pool in chunks.
+    Each row's accumulation order is unchanged and rows land in disjoint
+    slots, so the result is bitwise identical to [mat_vec m x] for any
+    domain count. *)
 
 val diagonal : t -> Vec.t
 (** [diagonal m] extracts the main diagonal (zeros where absent). *)

@@ -24,6 +24,39 @@ let dot x y =
 
 let norm2 x = sqrt (dot x x)
 
+module Pool = Ttsv_parallel.Pool
+
+(* Chunk size of the deterministic reductions: fixed, never derived from
+   the pool, so pooled and sequential runs fold the identical partials. *)
+let reduce_chunk = 2048
+
+let partial_dot (x : t) (y : t) lo hi =
+  let acc = ref 0. in
+  for i = lo to hi - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let pdot ?pool x y =
+  check_same_dim "pdot" x y;
+  Pool.map_reduce ~chunk:reduce_chunk
+    (Option.value pool ~default:Pool.seq)
+    ~n:(Array.length x)
+    ~map:(fun ~lo ~hi -> partial_dot x y lo hi)
+    ~reduce:( +. ) ~init:0.
+
+let pnorm2 ?pool x = sqrt (pdot ?pool x x)
+
+let paxpy ?pool a x y =
+  check_same_dim "paxpy" x y;
+  Pool.for_chunks ~chunk:reduce_chunk
+    (Option.value pool ~default:Pool.seq)
+    (Array.length x)
+    (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        y.(i) <- (a *. x.(i)) +. y.(i)
+      done)
+
 let norm_inf x =
   let acc = ref 0. in
   for i = 0 to Array.length x - 1 do

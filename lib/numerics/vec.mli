@@ -38,6 +38,16 @@ val to_list : t -> float list
 val dot : t -> t -> float
 (** [dot x y] is the inner product {%html:Σ%}[x.(i) *. y.(i)]. *)
 
+val pdot : ?pool:Ttsv_parallel.Pool.t -> t -> t -> float
+(** Pool-aware inner product.  The summation is chunked with a fixed
+    chunk size independent of the pool, and the per-chunk partials are
+    folded in chunk order — so the result is {e identical} for any
+    domain count, including [?pool:None].  It differs from {!dot} only
+    by that reassociation (≲ 1e-15 relative on well-scaled data). *)
+
+val pnorm2 : ?pool:Ttsv_parallel.Pool.t -> t -> float
+(** [sqrt (pdot ?pool x x)] — same determinism contract as {!pdot}. *)
+
 val norm2 : t -> float
 (** [norm2 x] is the Euclidean norm of [x]. *)
 
@@ -58,6 +68,10 @@ val scale : float -> t -> t
 
 val axpy : float -> t -> t -> unit
 (** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val paxpy : ?pool:Ttsv_parallel.Pool.t -> float -> t -> t -> unit
+(** Pool-aware {!axpy}.  Elementwise with disjoint writes, hence bitwise
+    identical to the sequential update for any domain count. *)
 
 val scale_in_place : float -> t -> unit
 (** [scale_in_place a x] performs [x <- a*x] in place. *)

@@ -1,0 +1,198 @@
+type t = {
+  ndomains : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable gen : int;
+  mutable remaining : int;
+  mutable busy : bool;
+  mutable stopped : bool;
+}
+
+let max_domains = 64
+let default_chunk = 1024
+let min_parallel = 2048
+
+let env_domains () =
+  match Sys.getenv_opt "TTSV_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 && n <= max_domains -> Some n
+    | Some _ | None -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> Stdlib.min (Domain.recommended_domain_count ()) 8
+
+(* Each worker parks on [work_ready] until the generation counter moves,
+   runs the published job once (the job itself loops over a shared chunk
+   queue), then reports back on [work_done]. *)
+let worker pool =
+  let last_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    while (not pool.stopped) && (pool.gen = !last_gen || pool.job = None) do
+      Condition.wait pool.work_ready pool.m
+    done;
+    if pool.stopped then Mutex.unlock pool.m
+    else begin
+      let job = match pool.job with Some j -> j | None -> assert false in
+      last_gen := pool.gen;
+      Mutex.unlock pool.m;
+      (* the job wrapper records exceptions itself; nothing can escape *)
+      job ();
+      Mutex.lock pool.m;
+      pool.remaining <- pool.remaining - 1;
+      if pool.remaining = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let make ndomains =
+  {
+    ndomains;
+    workers = [||];
+    m = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = None;
+    gen = 0;
+    remaining = 0;
+    busy = false;
+    stopped = false;
+  }
+
+let create ?domains () =
+  let n = match domains with Some n -> n | None -> default_domains () in
+  if n < 1 || n > max_domains then
+    invalid_arg (Printf.sprintf "Pool.create: domains must be in [1, %d]" max_domains);
+  let pool = make n in
+  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let seq = make 1
+let domains pool = pool.ndomains
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  if pool.stopped then Mutex.unlock pool.m
+  else begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.m;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run [runner] on every domain of the pool (caller included) and join.
+   Re-entrant launches — a task on this pool starting another region, or
+   a foreign thread racing the owner — run inline: the chunk queue still
+   drains, just without extra domains. *)
+let run pool runner =
+  if Array.length pool.workers = 0 then runner ()
+  else begin
+    Mutex.lock pool.m;
+    if pool.stopped then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    if pool.busy then begin
+      Mutex.unlock pool.m;
+      runner ()
+    end
+    else begin
+      pool.busy <- true;
+      pool.job <- Some runner;
+      pool.gen <- pool.gen + 1;
+      pool.remaining <- Array.length pool.workers;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.m;
+      runner ();
+      Mutex.lock pool.m;
+      while pool.remaining > 0 do
+        Condition.wait pool.work_done pool.m
+      done;
+      pool.job <- None;
+      pool.busy <- false;
+      Mutex.unlock pool.m
+    end
+  end
+
+let chunk_count n chunk = (n + chunk - 1) / chunk
+
+let for_chunks ?(chunk = default_chunk) ?(min_size = min_parallel) pool n body =
+  if n < 0 then invalid_arg "Pool.for_chunks: negative size";
+  if chunk < 1 then invalid_arg "Pool.for_chunks: chunk must be >= 1";
+  (* [seq] is never stopped; a shut-down pool must refuse even work small
+     enough for the sequential fallback (the mli's contract) *)
+  if pool.stopped then invalid_arg "Pool: used after shutdown";
+  if n > 0 then begin
+    let nchunks = chunk_count n chunk in
+    let apply c = body ~lo:(c * chunk) ~hi:(Stdlib.min n ((c + 1) * chunk)) in
+    if Array.length pool.workers = 0 || nchunks = 1 || n < min_size then
+      (* sequential fallback: the identical chunk walk, in order *)
+      for c = 0 to nchunks - 1 do
+        apply c
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failed : exn option Atomic.t = Atomic.make None in
+      let runner () =
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= nchunks then continue := false
+          else if Atomic.get failed = None then begin
+            try apply c
+            with e -> ignore (Atomic.compare_and_set failed None (Some e))
+          end
+        done
+      in
+      run pool runner;
+      match Atomic.get failed with Some e -> raise e | None -> ()
+    end
+  end
+
+let parallel_for ?chunk ?min_size pool n f =
+  for_chunks ?chunk ?min_size pool n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let map_reduce ?(chunk = default_chunk) ?min_size pool ~n ~map ~reduce ~init =
+  if n < 0 then invalid_arg "Pool.map_reduce: negative size";
+  if chunk < 1 then invalid_arg "Pool.map_reduce: chunk must be >= 1";
+  if n = 0 then init
+  else begin
+    let nchunks = chunk_count n chunk in
+    let partials = Array.make nchunks None in
+    (* writes land in disjoint slots keyed by chunk index, so the fold
+       below sees them in deterministic order no matter who computed what *)
+    for_chunks ~chunk ?min_size pool n (fun ~lo ~hi -> partials.(lo / chunk) <- Some (map ~lo ~hi));
+    Array.fold_left
+      (fun acc p -> match p with Some v -> reduce acc v | None -> assert false)
+      init partials
+  end
+
+let map_array ?(chunk = 1) pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    (* min_size 2: sweep points are coarse, parallelize from two tasks up *)
+    for_chunks ~chunk ~min_size:2 pool n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end

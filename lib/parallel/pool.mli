@@ -1,0 +1,95 @@
+(** A small fixed-size pool of OCaml 5 domains for data-parallel kernels.
+
+    The pool owns [domains - 1] worker domains; the caller's domain is
+    always the remaining participant, so [create ~domains:1] (or
+    {!seq}) spawns nothing and every operation degenerates to an inline
+    sequential loop.
+
+    {2 Determinism contract}
+
+    Every operation chunks its index space with a chunk size that
+    depends only on [n] and the [chunk] argument — never on the number
+    of domains or on scheduling.  Work is handed out dynamically
+    (whichever domain is free grabs the next chunk), but results land in
+    slots keyed by chunk index:
+
+    - {!parallel_for} / {!for_chunks} must only perform writes that are
+      disjoint across indices; under that (unchecked) contract the
+      outcome is identical to a sequential loop, bit for bit.
+    - {!map_reduce} folds the per-chunk partials in ascending chunk
+      order, so its result is {e identical for any domain count,
+      including the sequential fallback}.  It still differs from a plain
+      left fold over individual elements by floating-point
+      reassociation (the partials are grouped), which is why callers
+      that need cross-implementation agreement compare with a ~1e-12
+      relative tolerance.
+    - {!map_array} preserves input order exactly.
+
+    A region launched from inside another region of the same pool (or
+    from a foreign thread while the pool is busy) runs inline on the
+    calling domain instead of deadlocking. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers.  [domains]
+    defaults to the [TTSV_DOMAINS] environment variable when set, and
+    otherwise to [Domain.recommended_domain_count ()] capped at 8.
+    Raises [Invalid_argument] outside [1, 64]. *)
+
+val seq : t
+(** The shared 1-domain pool: no workers, every operation runs inline.
+    Never needs {!shutdown}.  [Option.value pool ~default:Pool.seq] is
+    the idiom every [?pool] entry point in the library uses. *)
+
+val domains : t -> int
+(** Total participating domains, including the caller (>= 1). *)
+
+val shutdown : t -> unit
+(** Joins the workers.  Idempotent; using the pool afterwards raises
+    [Invalid_argument].  {!seq} ignores shutdown. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)
+
+val default_chunk : int
+(** Chunk size used when [?chunk] is omitted (element kernels). *)
+
+val min_parallel : int
+(** Size cutoff: index spaces smaller than this run inline even on a
+    multi-domain pool (the fork/join latency would dominate).  Override
+    per call with [~min_size]. *)
+
+val for_chunks :
+  ?chunk:int -> ?min_size:int -> t -> int -> (lo:int -> hi:int -> unit) -> unit
+(** [for_chunks pool n body] applies [body ~lo ~hi] to every chunk
+    [[lo, hi)] of [[0, n)].  Chunk boundaries depend only on [n] and
+    [chunk] (default {!default_chunk}).  Exceptions raised by [body]
+    abort the remaining chunks and the first one is re-raised after the
+    region joins. *)
+
+val parallel_for : ?chunk:int -> ?min_size:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f i] for every [i] in [[0, n)], in
+    ascending order within each chunk.  [f] must only write to state
+    disjoint across indices. *)
+
+val map_reduce :
+  ?chunk:int ->
+  ?min_size:int ->
+  t ->
+  n:int ->
+  map:(lo:int -> hi:int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce pool ~n ~map ~reduce ~init] computes one partial per
+    chunk with [map ~lo ~hi] and folds them as
+    [reduce (... (reduce init p0) ...) p_last] in ascending chunk
+    order — the same value for any domain count. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] is [Array.map f xs] with the elements
+    evaluated across the pool ([chunk] defaults to 1: each element is
+    one task, for coarse work like sweep points).  Output order is the
+    input order. *)

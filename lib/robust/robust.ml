@@ -88,7 +88,7 @@ let solve_direct a b =
     match Dense.solve d b with x -> Ok x | exception Dense.Singular -> Error Diagnostics.Singular)
 
 let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor
-    ?(rungs = default_rungs) a b =
+    ?pool ?(rungs = default_rungs) a b =
   let start = Unix.gettimeofday () in
   match preflight a b with
   | _ :: _ as problems ->
@@ -131,8 +131,8 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         | Diagnostics.Direct -> assert false
       in
       let r =
-        solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor a
-          b
+        solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor
+          ?pool a b
       in
       total_iters := !total_iters + r.Iterative.iterations;
       trace := r.Iterative.trace;
@@ -202,10 +202,11 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
     in
     climb rungs
 
-let solve_exn ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?rungs a
-    b =
+let solve_exn ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool
+    ?rungs a b =
   match
-    solve ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?rungs a b
+    solve ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool ?rungs
+      a b
   with
   | Ok r -> r
   | Error f -> raise (Solve_failed f)

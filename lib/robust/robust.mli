@@ -42,6 +42,7 @@ val solve :
   ?on_iterate:(int -> float -> unit) ->
   ?stagnation_window:int ->
   ?divergence_factor:float ->
+  ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->
@@ -55,7 +56,10 @@ val solve :
     rungs.  The direct rung builds a pivotless banded LU
     when the bandwidth is narrow, retries with dense partial-pivoting LU
     when the band factorization hits a zero pivot, and accepts the result
-    at [max tol 1e-8] (it is the last resort).  Matrices of order beyond
+    at [max tol 1e-8] (it is the last resort).  [pool] is threaded to the
+    iterative rungs' matvec and BLAS-1 kernels; their reductions are
+    chunk-deterministic, so pooled and sequential climbs take identical
+    paths through the ladder.  Matrices of order beyond
     a few thousand with a wide band skip the dense fallback rather than
     allocating O(n²). *)
 
@@ -66,6 +70,7 @@ val solve_exn :
   ?on_iterate:(int -> float -> unit) ->
   ?stagnation_window:int ->
   ?divergence_factor:float ->
+  ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->

@@ -1,0 +1,66 @@
+(* Golden regression values: Table I model-vs-FV errors and the Fig. 5
+   midpoint temperatures, frozen at resolution 1.  Every number in this
+   file was produced by the current implementation; the suite exists to
+   catch unintended numerical drift from future refactors (assembly,
+   solver or reduction changes), not to validate against the paper —
+   test_experiments does that.  A legitimate numerical change (e.g. a
+   different reduction grouping) must update these constants
+   deliberately. *)
+
+module E = Ttsv_experiments
+module Params = Ttsv_core.Params
+module Model_a = Ttsv_core.Model_a
+module Model_b = Ttsv_core.Model_b
+module Model_1d = Ttsv_core.Model_1d
+module Stack = Ttsv_geometry.Stack
+module Units = Ttsv_physics.Units
+module Problem = Ttsv_fem.Problem
+module Solver = Ttsv_fem.Solver
+open Helpers
+
+(* (label, max relative error, average relative error) per Table I row *)
+let table1_golden =
+  [
+    ("B (1)", 0.27494732103897818, 0.24952187663708755);
+    ("B (20)", 0.082624334631298452, 0.06380153822009331);
+    ("B (100)", 0.03452930500835337, 0.020480664182264772);
+    ("B (500)", 0.031423861904074139, 0.015876300199454966);
+    ("A (fitted)", 0.030733826015117267, 0.02496461507748873);
+    ("A (paper k)", 0.073590890272334203, 0.064244169189457453);
+    ("1-D", 0.12311523484228305, 0.067210523684680321);
+  ]
+
+let golden_tests =
+  [
+    test "Table I errors match the frozen values" (fun () ->
+        let rows = E.Table1.run ~resolution:1 () in
+        List.iter
+          (fun (label, max_err, avg_err) ->
+            match
+              List.find_opt (fun (r : E.Table1.row) -> r.E.Table1.label = label) rows
+            with
+            | None -> Alcotest.fail (Printf.sprintf "Table I row %S disappeared" label)
+            | Some row ->
+              close_rel ~tol:1e-6
+                (Printf.sprintf "%s max err" label)
+                max_err row.E.Table1.max_err;
+              close_rel ~tol:1e-6
+                (Printf.sprintf "%s avg err" label)
+                avg_err row.E.Table1.avg_err)
+          table1_golden);
+    test "Fig. 5 midpoint temperatures match the frozen values" (fun () ->
+        let stack = Params.fig5_stack (Units.um 1.) in
+        let coeffs = E.Reference.block_coefficients () in
+        close_rel ~tol:1e-6 "Model A" 37.546770032496546
+          (Model_a.max_rise (Model_a.solve ~coeffs stack));
+        close_rel ~tol:1e-6 "Model B(100)" 38.843515860690466
+          (Model_b.max_rise (Model_b.solve_n stack 100));
+        close_rel ~tol:1e-6 "Model 1D" 42.14961702566702
+          (Model_1d.max_rise (Model_1d.solve stack));
+        let res = Solver.solve (Problem.of_stack ~resolution:1 stack) in
+        close_rel ~tol:1e-6 "FV max" 38.737315961551495 (Solver.max_rise res);
+        close_rel ~tol:1e-6 "FV mid-height axis" 7.2031972647995639
+          (Solver.rise_at res ~r:0. ~z:(Stack.total_height stack /. 2.)));
+  ]
+
+let suite = ("golden", golden_tests)

@@ -39,4 +39,6 @@ let () =
       Test_trace.suite;
       Test_integration.suite;
       Test_properties.suite;
+      Test_parallel.suite;
+      Test_golden.suite;
     ]

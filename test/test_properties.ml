@@ -11,6 +11,7 @@ module Tsv = Ttsv_geometry.Tsv
 module Problem = Ttsv_fem.Problem
 module Solver = Ttsv_fem.Solver
 module Circuit = Ttsv_network.Circuit
+module Pool = Ttsv_parallel.Pool
 open Helpers
 
 (* a small random circuit: a ladder with random rungs *)
@@ -117,4 +118,42 @@ let property_tests =
         Float.abs (b -. fv) /. fv < 0.12);
   ]
 
-let suite = ("properties", property_tests)
+(* pool-determinism properties: random sizes, chunkings and domain
+   counts; integer payloads so "agrees" means exact equality *)
+let gen_pool_case =
+  let open QCheck2.Gen in
+  let* n = int_range 0 5000 in
+  let* chunk = int_range 1 64 in
+  let* domains = int_range 1 4 in
+  return (n, chunk, domains)
+
+let parallel_properties =
+  [
+    qtest ~count:50 "map_reduce agrees with List.fold_left for associative ops"
+      gen_pool_case
+      (fun (n, chunk, domains) ->
+        let xs = List.init n (fun i -> ((i * 37) mod 101) - 50) in
+        let arr = Array.of_list xs in
+        Pool.with_pool ~domains @@ fun pool ->
+        let reduce_with op init =
+          Pool.map_reduce ~chunk ~min_size:2 pool ~n
+            ~map:(fun ~lo ~hi ->
+              let acc = ref init in
+              for i = lo to hi - 1 do
+                acc := op !acc arr.(i)
+              done;
+              !acc)
+            ~reduce:op ~init
+        in
+        reduce_with ( + ) 0 = List.fold_left ( + ) 0 xs
+        && reduce_with Stdlib.max min_int
+           = List.fold_left Stdlib.max min_int (min_int :: xs));
+    qtest ~count:50 "parallel_for visits every index exactly once" gen_pool_case
+      (fun (n, chunk, domains) ->
+        Pool.with_pool ~domains @@ fun pool ->
+        let counts = Array.make (Stdlib.max 1 n) 0 in
+        Pool.parallel_for ~chunk ~min_size:2 pool n (fun i -> counts.(i) <- counts.(i) + 1);
+        Array.for_all (fun c -> c = 1) (Array.sub counts 0 n));
+  ]
+
+let suite = ("properties", property_tests @ parallel_properties)
