@@ -78,9 +78,28 @@ let run_micro () =
 module Pool = Ttsv_parallel.Pool
 module Problem3 = Ttsv_fem.Problem3
 module Solver3 = Ttsv_fem.Solver3
+module Obs_metrics = Ttsv_obs.Metrics
 
-type parallel_run = { domains : int; wall_s : float; iterations : int }
+(* [phases] is the per-run span breakdown harvested from the metrics
+   registry: one (span name, completions, summed seconds) triple per
+   "span.*" histogram observed during that run *)
+type parallel_run = {
+  domains : int;
+  wall_s : float;
+  iterations : int;
+  phases : (string * int * float) list;
+}
+
 type parallel_result = { artefact : string; runs : parallel_run list }
+
+let phases_of_snapshot snap =
+  List.filter_map
+    (fun (name, sample) ->
+      match sample with
+      | Obs_metrics.H h when String.length name > 5 && String.sub name 0 5 = "span." ->
+        Some (String.sub name 5 (String.length name - 5), h.Obs_metrics.count, h.Obs_metrics.sum)
+      | _ -> None)
+    snap
 
 let bench_json_path = "BENCH_parallel.json"
 let bench_domains = [ 1; 2; 4; 8 ]
@@ -126,12 +145,20 @@ let json_of_results results =
       in
       Buffer.add_string buf "      \"runs\": [\n";
       List.iteri
-        (fun j { domains; wall_s; iterations } ->
+        (fun j { domains; wall_s; iterations; phases } ->
+          let phases_json =
+            String.concat ", "
+              (List.map
+                 (fun (name, count, sum_s) ->
+                   Printf.sprintf "{ \"name\": \"%s\", \"count\": %d, \"sum_s\": %.6f }" name
+                     count sum_s)
+                 phases)
+          in
           Buffer.add_string buf
             (Printf.sprintf
                "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
-                \"iterations\": %d }%s\n"
-               domains wall_s (base /. wall_s) iterations
+                \"iterations\": %d, \"phases\": [%s] }%s\n"
+               domains wall_s (base /. wall_s) iterations phases_json
                (if j = List.length r.runs - 1 then "" else ",")))
         r.runs;
       Buffer.add_string buf "      ]\n";
@@ -145,6 +172,11 @@ let run_parallel () =
   E.Report.heading ppf "Parallel scaling (domain pool wall time per artefact)";
   (* force the memoized FV calibration outside every timed region *)
   ignore (E.Reference.block_coefficients ());
+  (* metrics on for the whole bench so every timed run also yields its
+     span.* phase breakdown; the registry is reset per run so the
+     harvested snapshot belongs to exactly that (artefact, domains) pair *)
+  let metrics_were_on = Ttsv_obs.Flags.metrics_on () in
+  Ttsv_obs.Config.enable_metrics ();
   let results =
     List.map
       (fun (artefact, f) ->
@@ -152,17 +184,19 @@ let run_parallel () =
         let runs =
           List.map
             (fun domains ->
+              Obs_metrics.reset ();
               let pool = Pool.create ~domains () in
               let iterations, wall_s =
                 Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
                     time (fun () -> f (Some pool)))
               in
-              { domains; wall_s; iterations })
+              let phases = phases_of_snapshot (Obs_metrics.snapshot ()) in
+              { domains; wall_s; iterations; phases })
             bench_domains
         in
         let base = match runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan in
         List.iter
-          (fun { domains; wall_s; iterations } ->
+          (fun { domains; wall_s; iterations; _ } ->
             Format.fprintf ppf "  domains=%d  %8.3f s  speedup %5.2fx%s@." domains wall_s
               (base /. wall_s)
               (if iterations > 0 then Printf.sprintf "  (%d solver iterations)" iterations
@@ -171,6 +205,7 @@ let run_parallel () =
         { artefact; runs })
       (parallel_artefacts ())
   in
+  if not metrics_were_on then Ttsv_obs.Config.disable_metrics ();
   let oc = open_out bench_json_path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

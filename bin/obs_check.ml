@@ -1,0 +1,218 @@
+(* obs_check — schema-check a ttsv JSONL trace, or sanity-check the
+   phase breakdowns in BENCH_parallel.json against the measured wall
+   times.
+
+   Usage:
+     obs_check validate TRACE.jsonl [MIN_DEPTH]
+     obs_check bench BENCH_parallel.json
+
+   [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
+   is given, when no span nests that deep.  [bench] only prints
+   warnings and always exits 0: phase sums are measured under domain
+   scheduling noise, so a mismatch is a signal to look at, not a CI
+   failure. *)
+
+module Json = Ttsv_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("obs_check: " ^ s);
+      exit 1)
+    fmt
+
+let warn fmt = Printf.ksprintf (fun s -> prerr_endline ("obs_check: warning: " ^ s)) fmt
+
+let read_lines path =
+  In_channel.with_open_bin path @@ fun ic ->
+  let rec go acc n =
+    match In_channel.input_line ic with
+    | Some l when String.trim l = "" -> go acc (n + 1)
+    | Some l -> go ((n, l) :: acc) (n + 1)
+    | None -> List.rev acc
+  in
+  go [] 1
+
+let field name j = Json.member name j
+
+let str_field lineno name j =
+  match Option.bind (field name j) Json.to_string_opt with
+  | Some s -> s
+  | None -> fail "line %d: missing string field %S" lineno name
+
+let int_field lineno name j =
+  match Option.bind (field name j) Json.to_int_opt with
+  | Some i -> i
+  | None -> fail "line %d: missing integer field %S" lineno name
+
+let num_field lineno name j =
+  match Option.bind (field name j) Json.to_float_opt with
+  | Some f -> f
+  | None -> fail "line %d: missing numeric field %S" lineno name
+
+(* ---------------------------------------------------------------- validate *)
+
+type stats = {
+  mutable spans : int;
+  mutable metrics : int;
+  mutable summaries : int;
+  mutable max_depth : int;
+  mutable names : string list;
+}
+
+let check_span lineno j st ids parents =
+  let id = int_field lineno "id" j in
+  if Hashtbl.mem ids id then fail "line %d: duplicate span id %d" lineno id;
+  Hashtbl.add ids id ();
+  (match field "parent" j with
+  | Some Json.Null | None -> ()
+  | Some p -> (
+    match Json.to_int_opt p with
+    | Some parent -> parents := (lineno, id, parent) :: !parents
+    | None -> fail "line %d: span \"parent\" must be an integer or null" lineno));
+  ignore (int_field lineno "domain" j);
+  let depth = int_field lineno "depth" j in
+  if depth < 0 then fail "line %d: negative span depth %d" lineno depth;
+  let name = str_field lineno "name" j in
+  ignore (num_field lineno "start" j);
+  let dur = num_field lineno "dur" j in
+  if dur < 0. then fail "line %d: negative span duration %g" lineno dur;
+  (match field "attrs" j with
+  | None -> ()
+  | Some (Json.Obj kvs) ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Json.String _ -> ()
+        | _ -> fail "line %d: span attr %S must be a string" lineno k)
+      kvs
+  | Some _ -> fail "line %d: span \"attrs\" must be an object" lineno);
+  st.spans <- st.spans + 1;
+  st.max_depth <- Stdlib.max st.max_depth depth;
+  if not (List.mem name st.names) then st.names <- name :: st.names
+
+let check_metric lineno j st =
+  ignore (str_field lineno "name" j);
+  let kind = str_field lineno "kind" j in
+  if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+    fail "line %d: unknown metric kind %S" lineno kind;
+  if field "value" j = None then fail "line %d: metric without a \"value\"" lineno;
+  ignore (num_field lineno "t" j);
+  (match field "span" j with
+  | None -> ()
+  | Some s ->
+    if Json.to_int_opt s = None then fail "line %d: metric \"span\" must be an integer" lineno);
+  st.metrics <- st.metrics + 1
+
+let check_summary lineno j st =
+  ignore (str_field lineno "name" j);
+  if field "data" j = None then fail "line %d: summary without \"data\"" lineno;
+  st.summaries <- st.summaries + 1
+
+let validate path min_depth =
+  let lines = read_lines path in
+  (match lines with
+  | [] -> fail "%s: empty trace" path
+  | (lineno, first) :: _ -> (
+    match Json.parse first with
+    | Error e -> fail "line %d: not valid JSON: %s" lineno e
+    | Ok j ->
+      if str_field lineno "type" j <> "meta" then
+        fail "line %d: first line must be the meta record" lineno;
+      let schema = str_field lineno "schema" j in
+      if schema <> Ttsv_obs.Sink.schema then
+        fail "line %d: schema %S, expected %S" lineno schema Ttsv_obs.Sink.schema;
+      ignore (str_field lineno "clock_unit" j)));
+  let st = { spans = 0; metrics = 0; summaries = 0; max_depth = 0; names = [] } in
+  let ids = Hashtbl.create 64 in
+  let parents = ref [] in
+  List.iteri
+    (fun i (lineno, line) ->
+      if i > 0 then
+        match Json.parse line with
+        | Error e -> fail "line %d: not valid JSON: %s" lineno e
+        | Ok j -> (
+          match str_field lineno "type" j with
+          | "span" -> check_span lineno j st ids parents
+          | "metric" -> check_metric lineno j st
+          | "summary" -> check_summary lineno j st
+          | "meta" -> fail "line %d: duplicate meta record" lineno
+          | other -> fail "line %d: unknown record type %S" lineno other))
+    lines;
+  (* spans are written at completion, so a child can precede its parent:
+     resolve the references only once the whole file is read *)
+  List.iter
+    (fun (lineno, id, parent) ->
+      if not (Hashtbl.mem ids parent) then
+        fail "line %d: span %d references unknown parent %d" lineno id parent)
+    !parents;
+  (match min_depth with
+  | Some d when st.max_depth < d ->
+    fail "%s: max span depth %d, expected nesting of at least %d" path st.max_depth d
+  | Some _ | None -> ());
+  Printf.printf "%s: OK — %d spans (%d distinct names, max depth %d), %d metrics, %d summaries\n"
+    path st.spans (List.length st.names) st.max_depth st.metrics st.summaries
+
+(* ------------------------------------------------------------------- bench *)
+
+let bench path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let j = match Json.parse text with Ok j -> j | Error e -> fail "%s: %s" path e in
+  let artefacts =
+    match field "artefacts" j with
+    | Some (Json.List l) -> l
+    | _ -> fail "%s: no \"artefacts\" array" path
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun art ->
+      let name =
+        match Option.bind (field "name" art) Json.to_string_opt with
+        | Some n -> n
+        | None -> fail "%s: artefact without a name" path
+      in
+      let runs =
+        match field "runs" art with Some (Json.List l) -> l | _ -> [] in
+      List.iter
+        (fun run ->
+          let domains = Option.bind (field "domains" run) Json.to_int_opt in
+          let wall = Option.bind (field "wall_s" run) Json.to_float_opt in
+          match (domains, wall, field "phases" run) with
+          | Some domains, Some wall, Some (Json.List phases) ->
+            incr checked;
+            List.iter
+              (fun ph ->
+                let pname =
+                  Option.value ~default:"?"
+                    (Option.bind (field "name" ph) Json.to_string_opt)
+                in
+                match Option.bind (field "sum_s" ph) Json.to_float_opt with
+                | None -> warn "%s domains=%d: phase %s has no sum_s" name domains pname
+                | Some sum_s ->
+                  (* a phase cannot burn more than the run's total core
+                     capacity; 10%% slack absorbs clock skew *)
+                  let capacity = wall *. float_of_int domains in
+                  if sum_s > capacity *. 1.10 +. 1e-6 then
+                    warn
+                      "%s domains=%d: phase %s sums to %.3fs, above the %.3fs capacity of \
+                       the %.3fs run"
+                      name domains pname sum_s capacity wall)
+              phases
+          | _, _, None ->
+            warn "%s: run without a phase breakdown (old BENCH_parallel.json?)" name
+          | _ -> warn "%s: malformed run entry" name)
+        runs)
+    artefacts;
+  Printf.printf "%s: checked %d runs (warnings, if any, are non-blocking)\n" path !checked
+
+let usage () = fail "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "validate"; path ] -> validate path None
+  | [ _; "validate"; path; depth ] -> (
+    match int_of_string_opt depth with
+    | Some d -> validate path (Some d)
+    | None -> usage ())
+  | [ _; "bench"; path ] -> bench path
+  | _ -> usage ()

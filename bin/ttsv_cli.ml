@@ -86,6 +86,35 @@ let model_t =
   let models = [ ("a", `A); ("b", `B); ("1d", `One_d); ("fv", `Fv); ("all", `All) ] in
   Arg.(value & opt (enum models) `All & info [ "model" ] ~doc:"model to run: a, b, 1d, fv or all")
 
+(* ------------------------------------------------------------ observability *)
+
+let obs_trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "write a JSONL trace of spans and metric events to $(docv) (equivalent to setting \
+           TTSV_TRACE=$(docv)); the summary snapshot is appended when the trace closes")
+
+let obs_metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "collect runtime metrics and print the summary table on stderr at exit (equivalent \
+           to TTSV_METRICS=1)")
+
+(* evaluated before the command body runs, so every span of the run is
+   captured; the Config at_exit hook closes the trace and prints the
+   summary on the way out *)
+let obs_t =
+  let setup trace metrics =
+    (match trace with None -> () | Some path -> Ttsv_obs.Config.enable_trace path);
+    if metrics then Ttsv_obs.Config.enable_metrics ()
+  in
+  Term.(const setup $ obs_trace_t $ obs_metrics_t)
+
 (* ------------------------------------------------------------------- solve *)
 
 let print_rise label dt = Format.printf "%-14s max dT = %6.3f K@." label dt
@@ -121,7 +150,7 @@ let r_package_t =
     & info [ "r-package" ] ~doc:"sink-to-ambient package resistance [K/W]")
 
 let solve_cmd =
-  let run stack coeffs segments resolution model ambient r_package solver_report domains =
+  let run stack coeffs segments resolution model ambient r_package solver_report domains () =
     with_pool domains @@ fun pool ->
     let qs = Stack.heat_inputs stack in
     Format.printf "unit cell: %a@." Stack.pp stack;
@@ -161,7 +190,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ model_t $ ambient_t
-      $ r_package_t $ solver_report_t $ domains_t)
+      $ r_package_t $ solver_report_t $ domains_t $ obs_t)
 
 (* ------------------------------------------------------------------- sweep *)
 
@@ -177,7 +206,7 @@ let sweep_cmd =
   let to_t = Arg.(value & opt float 20. & info [ "to" ] ~doc:"sweep end [µm]") in
   let points_t = Arg.(value & opt int 10 & info [ "points" ] ~doc:"number of sweep points") in
   let with_fv_t = Arg.(value & flag & info [ "with-fv" ] ~doc:"include the FV reference") in
-  let run stack coeffs segments resolution param from_ to_ points with_fv domains =
+  let run stack coeffs segments resolution param from_ to_ points with_fv domains () =
     if points < 2 then invalid_arg "sweep: need at least two points";
     with_pool domains @@ fun pool ->
     let xs = Ttsv_numerics.Vec.linspace from_ to_ points in
@@ -220,7 +249,7 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ param_t $ from_t $ to_t
-      $ points_t $ with_fv_t $ domains_t)
+      $ points_t $ with_fv_t $ domains_t $ obs_t)
 
 (* ----------------------------------------------------------------- figures *)
 
@@ -234,7 +263,7 @@ let figures_cmd =
             "artefacts to run: fig4 fig5 fig6 fig7 table1 case ablation convergence shape \
              sensitivity nplanes variation nonlinear fillers")
   in
-  let run which domains =
+  let run which domains () =
     with_pool domains @@ fun pool ->
     let ppf = Format.std_formatter in
     List.iter
@@ -258,7 +287,7 @@ let figures_cmd =
       which
   in
   let info = Cmd.info "figures" ~doc:"regenerate the paper's figures and tables" in
-  Cmd.v info Term.(const run $ which_t $ domains_t)
+  Cmd.v info Term.(const run $ which_t $ domains_t $ obs_t)
 
 (* --------------------------------------------------------------- calibrate *)
 

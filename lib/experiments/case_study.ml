@@ -7,12 +7,12 @@ type entry = { label : string; max_rise : float; time_ms : float; paper_value : 
 
 type t = { entries : entry list; tsv_count : int; cell_area : float }
 
-let run ?resolution ?(segments = 1000) () =
+let run_body ?resolution ?(segments = 1000) () =
   let stack, tsv_count = Params.case_study () in
   let coeffs = Reference.calibrate_for stack in
   let timed label paper_value f =
-    let v, ms = Timing.time_ms f in
-    { label; max_rise = v; time_ms = ms; paper_value }
+    let m = Timing.measure f in
+    { label; max_rise = m.Timing.result; time_ms = m.Timing.median_ms; paper_value }
   in
   let a =
     timed "Model A (fitted)" (Some 12.8) (fun () ->
@@ -29,6 +29,10 @@ let run ?resolution ?(segments = 1000) () =
     timed "FV reference" (Some 12.) (fun () -> Reference.max_rise ?resolution stack)
   in
   { entries = [ a; b; one_d; fv ]; tsv_count; cell_area = stack.Ttsv_geometry.Stack.footprint }
+
+let run ?resolution ?segments () =
+  Ttsv_obs.Span.with_ ~name:"experiment.case_study" (fun () ->
+      run_body ?resolution ?segments ())
 
 let print ?resolution ?segments ppf () =
   let t = run ?resolution ?segments () in

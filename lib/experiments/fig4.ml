@@ -6,7 +6,7 @@ module Units = Ttsv_physics.Units
 
 let radii_um = [ 1.; 2.; 3.; 4.; 5.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20. ]
 
-let run ?resolution ?pool () =
+let run_body ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map (fun r -> Params.fig4_stack (Units.um r)) radii_um in
   let of_list f = Sweep.map ?pool f stacks in
@@ -22,6 +22,9 @@ let run ?resolution ?pool () =
       { Report.label = "Model 1D"; ys = model_1d };
       { Report.label = "FV"; ys = fv };
     ]
+
+let run ?resolution ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.fig4" (fun () -> run_body ?resolution ?pool ())
 
 let print ?resolution ?pool ppf () =
   let fig = run ?resolution ?pool () in

@@ -7,7 +7,7 @@ module Units = Ttsv_physics.Units
 let liners_um = [ 0.5; 1.; 1.5; 2.; 2.5; 3. ]
 let segment_counts = [ 1; 20; 100; 500 ]
 
-let run ?resolution ?pool () =
+let run_body ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map (fun tl -> Params.fig5_stack (Units.um tl)) liners_um in
   let of_list f = Sweep.map ?pool f stacks in
@@ -28,6 +28,9 @@ let run ?resolution ?pool () =
     ([ { Report.label = "Model A"; ys = model_a } ]
     @ model_bs
     @ [ { Report.label = "Model 1D"; ys = model_1d }; { Report.label = "FV"; ys = fv } ])
+
+let run ?resolution ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.fig5" (fun () -> run_body ?resolution ?pool ())
 
 let print ?resolution ?pool ppf () =
   let fig = run ?resolution ?pool () in

@@ -6,7 +6,7 @@ module Units = Ttsv_physics.Units
 
 let thicknesses_um = [ 5.; 10.; 15.; 20.; 25.; 30.; 40.; 50.; 60.; 70.; 80. ]
 
-let run ?resolution () =
+let run_body ?resolution () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map (fun t -> Params.fig6_stack (Units.um t)) thicknesses_um in
   let of_list f = Array.of_list (List.map f stacks) in
@@ -22,6 +22,9 @@ let run ?resolution () =
       { Report.label = "Model 1D"; ys = model_1d };
       { Report.label = "FV"; ys = fv };
     ]
+
+let run ?resolution () =
+  Ttsv_obs.Span.with_ ~name:"experiment.fig6" (fun () -> run_body ?resolution ())
 
 let minimum_of fig label =
   match List.find_opt (fun s -> String.equal s.Report.label label) fig.Report.series with

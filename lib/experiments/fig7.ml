@@ -17,7 +17,7 @@ let subcell stack n =
     ~planes:(Array.to_list stack.Stack.planes)
     ~tsv:(Tsv.divide stack.Stack.tsv n) ()
 
-let run ?resolution ?pool () =
+let run_body ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stack = Params.fig7_stack () in
   let of_list f = Sweep.map ?pool f divisions in
@@ -33,6 +33,9 @@ let run ?resolution ?pool () =
       { Report.label = "Model 1D"; ys = model_1d };
       { Report.label = "FV"; ys = fv };
     ]
+
+let run ?resolution ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.fig7" (fun () -> run_body ?resolution ?pool ())
 
 let print ?resolution ?pool ppf () =
   let fig = run ?resolution ?pool () in

@@ -28,7 +28,7 @@ let stack_with_planes n =
     ~planes:(plane ~first:true :: List.init (n - 1) (fun _ -> plane ~first:false))
     ~tsv ()
 
-let run ?resolution ?pool () =
+let run_body ?resolution ?pool () =
   let coeffs = Reference.block_coefficients () in
   let stacks = List.map stack_with_planes plane_counts in
   let of_list f = Sweep.map ?pool f stacks in
@@ -50,6 +50,9 @@ let run ?resolution ?pool () =
       };
       { Report.label = "FV"; ys = of_list (Reference.max_rise ?resolution) };
     ]
+
+let run ?resolution ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.nplanes" (fun () -> run_body ?resolution ?pool ())
 
 let print ?resolution ?pool ppf () =
   let fig = run ?resolution ?pool () in

@@ -65,7 +65,7 @@ let sensitivities ?resolution ?pool () =
          (p, log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
        all_parameters)
 
-let run ?resolution ?pool () =
+let run_body ?resolution ?pool () =
   let rows =
     List.map
       (fun (p, a, b, fv) ->
@@ -78,6 +78,9 @@ let run ?resolution ?pool () =
     columns = [ "Model A"; "Model B(100)"; "FV" ];
     rows;
   }
+
+let run ?resolution ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.sensitivity" (fun () -> run_body ?resolution ?pool ())
 
 let print ?resolution ?pool ppf () =
   Format.fprintf ppf "@[<v>";

@@ -1,6 +1,19 @@
 module Pool = Ttsv_parallel.Pool
 
 let pool_of = function Some p -> p | None -> Pool.seq
-let map_array ?pool f xs = Pool.map_array (pool_of pool) f xs
+
+(* One span per experiment point, on whichever domain evaluates it, so a
+   full sweep produces a browsable trace.  The attribute list is only
+   built when observability is on. *)
+let point i g =
+  if Ttsv_obs.Flags.enabled () then
+    Ttsv_obs.Span.with_ ~name:"sweep.point" ~attrs:[ ("i", string_of_int i) ] g
+  else g ()
+
+let map_array ?pool f xs =
+  Pool.map_array (pool_of pool)
+    (fun i -> point i (fun () -> f xs.(i)))
+    (Array.init (Array.length xs) Fun.id)
+
 let map ?pool f xs = map_array ?pool f (Array.of_list xs)
 let init ?pool n f = map_array ?pool f (Array.init n (fun i -> i))

@@ -9,7 +9,11 @@
     indistinguishable from a sequential one.
 
     Evaluations must be pure (or at least independent); any exception
-    raised by [f] aborts the sweep and is re-raised to the caller. *)
+    raised by [f] aborts the sweep and is re-raised to the caller.
+
+    When observability is enabled ({!Ttsv_obs.Config}), every point is
+    evaluated inside a ["sweep.point"] span tagged with its index, on
+    whichever domain ran it. *)
 
 val map : ?pool:Ttsv_parallel.Pool.t -> ('a -> 'b) -> 'a list -> 'b array
 (** [map f xs] evaluates [f] over the points of [xs] — over the pool

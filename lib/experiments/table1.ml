@@ -8,17 +8,17 @@ module Units = Ttsv_physics.Units
 
 type row = { label : string; max_err : float; avg_err : float; time_ms : float option }
 
-let run ?resolution () =
+let run_body ?resolution () =
   let stacks = List.map (fun tl -> Params.fig5_stack (Units.um tl)) Fig5.liners_um in
   let fv = Array.of_list (List.map (Reference.max_rise ?resolution) stacks) in
   let timed label f =
     let solve_all () = Array.of_list (List.map f stacks) in
-    let ys, ms = Timing.time_ms solve_all in
+    let m = Timing.measure solve_all in
     {
       label;
-      max_err = Stats.max_rel_error ys fv;
-      avg_err = Stats.mean_rel_error ys fv;
-      time_ms = Some (ms /. float_of_int (List.length stacks));
+      max_err = Stats.max_rel_error m.Timing.result fv;
+      avg_err = Stats.mean_rel_error m.Timing.result fv;
+      time_ms = Some (m.Timing.median_ms /. float_of_int (List.length stacks));
     }
   in
   let b_rows =
@@ -35,6 +35,9 @@ let run ?resolution () =
   in
   let one_d = timed "1-D" (fun s -> Model_1d.max_rise (Model_1d.solve s)) in
   b_rows @ [ a_fit; a_paper; one_d ]
+
+let run ?resolution () =
+  Ttsv_obs.Span.with_ ~name:"experiment.table1" (fun () -> run_body ?resolution ())
 
 let to_table rows =
   {

@@ -42,8 +42,8 @@ let sample_stack rng tol =
   Stack.map_planes stack (fun _ p ->
       { p with Plane.substrate = Material.with_conductivity p.Plane.substrate k_si })
 
-let run ?(seed = 42) ?(samples = 2000) ?(tolerances = default_tolerances) ?budget ?pool ()
-    =
+let run_body ?(seed = 42) ?(samples = 2000) ?(tolerances = default_tolerances) ?budget ?pool
+    () =
   if samples < 2 then invalid_arg "Variation.run: need at least two samples";
   let rng = Rng.create seed in
   let nominal =
@@ -71,6 +71,10 @@ let run ?(seed = 42) ?(samples = 2000) ?(tolerances = default_tolerances) ?budge
     yield_at_budget = float_of_int within /. float_of_int samples;
     budget;
   }
+
+let run ?seed ?samples ?tolerances ?budget ?pool () =
+  Ttsv_obs.Span.with_ ~name:"experiment.variation" (fun () ->
+      run_body ?seed ?samples ?tolerances ?budget ?pool ())
 
 let to_table s =
   let f = Printf.sprintf "%.3f" in

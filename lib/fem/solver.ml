@@ -4,6 +4,24 @@ module Iterative = Ttsv_numerics.Iterative
 module Robust = Ttsv_robust.Robust
 module Diagnostics = Ttsv_robust.Diagnostics
 module Validate = Ttsv_robust.Validate
+module Obs_span = Ttsv_obs.Span
+module Obs_metrics = Ttsv_obs.Metrics
+
+let m_nnz = Obs_metrics.Gauge.make "assembly.nnz"
+let m_cells = Obs_metrics.Gauge.make "grid.cells"
+
+(* record assembled-system shape: gauges for the registry and, when a
+   trace is open, a point event tied to the enclosing assembly span *)
+let record_assembly matrix =
+  if Ttsv_obs.Flags.enabled () then begin
+    let nnz = Sparse.nnz matrix in
+    Obs_metrics.Gauge.set m_nnz (float_of_int nnz);
+    Obs_metrics.Gauge.set m_cells (float_of_int (Sparse.rows matrix));
+    if Ttsv_obs.Flags.trace_on () then
+      Ttsv_obs.Sink.metric ?span:(Obs_span.current ()) ~kind:"gauge" ~name:"assembly.nnz"
+        (Ttsv_obs.Json.Int nnz)
+  end;
+  matrix
 
 type result = {
   problem : Problem.t;
@@ -24,7 +42,7 @@ let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
    identical to the sequential one.  Face conductances are evaluated in a
    canonical (lower-index) orientation, so the two rows sharing a face
    store exactly opposite off-diagonal values. *)
-let assemble ?pool ?bottom_h ?extra_diagonal (p : Problem.t) =
+let assemble_rows ?pool ?bottom_h ?extra_diagonal (p : Problem.t) =
   let g = p.Problem.grid in
   let nr = Grid.nr g and nz = Grid.nz g in
   let n = nr * nz in
@@ -104,6 +122,10 @@ let assemble ?pool ?bottom_h ?extra_diagonal (p : Problem.t) =
   | Some pool -> Ttsv_parallel.Pool.parallel_for ~chunk:64 ~min_size:256 pool n fill_row);
   Sparse.of_csr ~nrows:n ~ncols:n ~row_ptr ~col_idx ~values
 
+let assemble ?pool ?bottom_h ?extra_diagonal p =
+  Obs_span.with_ ~name:"solver.assemble" (fun () ->
+      record_assembly (assemble_rows ?pool ?bottom_h ?extra_diagonal p))
+
 (* Reject physically meaningless fields before assembling: a single NaN
    conductivity or source poisons the whole system. *)
 let check_problem (p : Problem.t) =
@@ -133,7 +155,10 @@ let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool p =
     let matrix = assemble ?pool ?bottom_h p in
     let n = Sparse.rows matrix in
     let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
-    match Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem.source with
+    match
+      Obs_span.with_ ~name:"solver.solve" (fun () ->
+          Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem.source)
+    with
     | Error f -> Error f
     | Ok (x, d) ->
       Ok

@@ -1,6 +1,24 @@
 module Sparse = Ttsv_numerics.Sparse
 module Robust = Ttsv_robust.Robust
 module Diagnostics = Ttsv_robust.Diagnostics
+module Obs_span = Ttsv_obs.Span
+module Obs_metrics = Ttsv_obs.Metrics
+
+(* same interned instruments as the 2-D solver: "assembly.nnz" and
+   "grid.cells" describe whichever assembly ran last *)
+let m_nnz = Obs_metrics.Gauge.make "assembly.nnz"
+let m_cells = Obs_metrics.Gauge.make "grid.cells"
+
+let record_assembly matrix =
+  if Ttsv_obs.Flags.enabled () then begin
+    let nnz = Sparse.nnz matrix in
+    Obs_metrics.Gauge.set m_nnz (float_of_int nnz);
+    Obs_metrics.Gauge.set m_cells (float_of_int (Sparse.rows matrix));
+    if Ttsv_obs.Flags.trace_on () then
+      Ttsv_obs.Sink.metric ?span:(Obs_span.current ()) ~kind:"gauge" ~name:"assembly.nnz"
+        (Ttsv_obs.Json.Int nnz)
+  end;
+  matrix
 
 type result = {
   problem : Problem3.t;
@@ -19,7 +37,7 @@ let face_conductance a d1 k1 d2 k2 = a /. ((d1 /. k1) +. (d2 /. k2))
    the pooled matrix is bitwise identical to the sequential one.  Face
    conductances are evaluated in the lower-index orientation so both
    rows sharing a face store exactly opposite off-diagonal values. *)
-let assemble ?pool (p : Problem3.t) =
+let assemble_rows ?pool (p : Problem3.t) =
   let g = p.Problem3.grid in
   let nx = Grid3.nx g and ny = Grid3.ny g and nz = Grid3.nz g in
   let n = nx * ny * nz in
@@ -96,11 +114,18 @@ let assemble ?pool (p : Problem3.t) =
   | Some pool -> Ttsv_parallel.Pool.parallel_for ~chunk:64 ~min_size:256 pool n fill_row);
   Sparse.of_csr ~nrows:n ~ncols:n ~row_ptr ~col_idx ~values
 
+let assemble ?pool p =
+  Obs_span.with_ ~name:"solver3.assemble" (fun () ->
+      record_assembly (assemble_rows ?pool p))
+
 let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate ?pool p =
   let matrix = assemble ?pool p in
   let n = Sparse.rows matrix in
   let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 4000 (10 * n) in
-  match Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem3.source with
+  match
+    Obs_span.with_ ~name:"solver3.solve" (fun () ->
+        Robust.solve ~tol ~max_iter ?on_iterate ?pool matrix p.Problem3.source)
+  with
   | Error f -> Error f
   | Ok (x, d) ->
     Ok

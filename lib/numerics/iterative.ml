@@ -1,3 +1,18 @@
+module Obs_metrics = Ttsv_obs.Metrics
+
+(* per-attempt observability: total Krylov iterations spent and the final
+   true relative residual of each attempt, per method *)
+let m_cg_iters = Obs_metrics.Counter.make "cg.iterations"
+let m_cg_res = Obs_metrics.Histogram.make "cg.residual_final"
+let m_bicg_iters = Obs_metrics.Counter.make "bicgstab.iterations"
+let m_bicg_res = Obs_metrics.Histogram.make "bicgstab.residual_final"
+
+let record_attempt iters_c res_h iterations residual =
+  if Ttsv_obs.Flags.metrics_on () then begin
+    Obs_metrics.Counter.add iters_c iterations;
+    Obs_metrics.Histogram.observe res_h residual
+  end
+
 type status =
   | Converged
   | Iteration_limit
@@ -152,6 +167,7 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
       | _ -> Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb
     in
     let converged = Float.is_finite residual && residual <= tol in
+    record_attempt m_cg_iters m_cg_res !iter residual;
     {
       solution = x;
       iterations = !iter;
@@ -250,6 +266,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     (* recompute true residual for the report *)
     let true_res = Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb in
     let converged = Float.is_finite true_res && true_res <= tol in
+    record_attempt m_bicg_iters m_bicg_res !iter true_res;
     {
       solution = x;
       iterations = !iter;

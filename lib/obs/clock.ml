@@ -1,0 +1,3 @@
+let start_epoch = Unix.gettimeofday ()
+let now () = Unix.gettimeofday ()
+let elapsed () = now () -. start_epoch

@@ -1,0 +1,14 @@
+(** Shared wall clock for the observability layer.
+
+    All trace timestamps are seconds relative to {!start_epoch} (process
+    start), so traces from one run are directly comparable and the JSONL
+    stays compact. *)
+
+val start_epoch : float
+(** [Unix.gettimeofday] captured when the library was initialised. *)
+
+val now : unit -> float
+(** Current wall time, seconds since the Unix epoch. *)
+
+val elapsed : unit -> float
+(** Seconds since {!start_epoch}. *)

@@ -1,0 +1,49 @@
+let enable_trace path =
+  Sink.open_trace path;
+  Atomic.set Flags.trace true;
+  Flags.refresh ()
+
+let disable_trace () =
+  Atomic.set Flags.trace false;
+  Flags.refresh ();
+  (* flush accumulated metrics into the file before closing so a trace
+     is self-contained even when nobody prints the summary *)
+  if Flags.metrics_on () then Sink.snapshot (Metrics.snapshot ());
+  Sink.close_trace ()
+
+let enable_metrics () =
+  Atomic.set Flags.metrics true;
+  Flags.refresh ()
+
+let disable_metrics () =
+  Atomic.set Flags.metrics false;
+  Flags.refresh ()
+
+let print_summary ppf =
+  Format.fprintf ppf "@[<v>observability summary (registry: default)@,%a@]@."
+    Metrics.pp_summary (Metrics.snapshot ())
+
+(* at_exit: close an open trace cleanly and, when metrics ran, print the
+   human-readable summary table.  Registered once at library load; the
+   body checks the flags at exit time so it is a no-op for untraced runs. *)
+let () =
+  at_exit (fun () ->
+      if Flags.metrics_on () then print_summary Format.err_formatter;
+      if Flags.trace_on () then disable_trace ())
+
+let env_truthy = function
+  | None -> false
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "" | "0" | "false" | "no" | "off" -> false
+    | _ -> true)
+
+let init_from_env () =
+  (match Sys.getenv_opt "TTSV_TRACE" with
+  | Some path when String.trim path <> "" -> enable_trace (String.trim path)
+  | Some _ | None -> ());
+  if env_truthy (Sys.getenv_opt "TTSV_METRICS") then enable_metrics ()
+
+(* honour TTSV_TRACE / TTSV_METRICS in every binary that links this
+   library, without each main having to remember to call us *)
+let () = init_from_env ()

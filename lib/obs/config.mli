@@ -1,0 +1,26 @@
+(** Turning the observability layer on and off.
+
+    At library load the [TTSV_TRACE] (a file path) and [TTSV_METRICS]
+    (truthy: anything but empty/0/false/no/off) environment variables
+    are honoured automatically; the CLI's [--trace]/[--metrics] flags
+    call {!enable_trace}/{!enable_metrics} directly.  Everything is off
+    by default and an [at_exit] hook closes an open trace and prints the
+    metrics summary table to stderr. *)
+
+val enable_trace : string -> unit
+(** Open a JSONL trace at the given path (truncating) and start
+    emitting span/metric events. *)
+
+val disable_trace : unit -> unit
+(** Stop emitting, append the metrics snapshot as [summary] lines (when
+    metrics are on), and close the file. *)
+
+val enable_metrics : unit -> unit
+val disable_metrics : unit -> unit
+
+val print_summary : Format.formatter -> unit
+(** Print the current default-registry snapshot as the human-readable
+    summary table. *)
+
+val init_from_env : unit -> unit
+(** Re-read [TTSV_TRACE]/[TTSV_METRICS].  Called automatically at load. *)

@@ -1,0 +1,7 @@
+let trace = Atomic.make false
+let metrics = Atomic.make false
+let active = Atomic.make false
+let refresh () = Atomic.set active (Atomic.get trace || Atomic.get metrics)
+let trace_on () = Atomic.get trace
+let metrics_on () = Atomic.get metrics
+let enabled () = Atomic.get active

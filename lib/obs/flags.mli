@@ -1,0 +1,25 @@
+(** The observability on/off switches, read on every instrumentation hook.
+
+    Each predicate is a single [Atomic.get] — this is the entire cost the
+    instrumented hot paths pay when observability is disabled, which is
+    what keeps the "< 2% overhead with [TTSV_TRACE] unset" contract
+    cheap to honour.  Mutation goes through {!Config}; these are split
+    out so low-level modules can read the flags without a dependency
+    cycle. *)
+
+val trace : bool Atomic.t
+val metrics : bool Atomic.t
+
+val refresh : unit -> unit
+(** Recompute the combined [active] flag after flipping [trace] or
+    [metrics].  {!Config} calls this; instrumentation never should. *)
+
+val trace_on : unit -> bool
+(** JSONL trace sink enabled. *)
+
+val metrics_on : unit -> bool
+(** Metrics registry accumulation enabled. *)
+
+val enabled : unit -> bool
+(** [trace_on () || metrics_on ()] via one atomic read — the guard for
+    hooks that feed both. *)

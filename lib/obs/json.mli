@@ -1,0 +1,34 @@
+(** A minimal JSON value, printer, and parser.
+
+    The build deliberately carries no third-party JSON dependency; this
+    covers exactly what the observability layer needs — emitting JSONL
+    trace lines and parsing them back in tests and the [obs_check]
+    schema validator.  Non-finite floats print as [null] (JSON has no
+    NaN/Inf literal); [\u] escapes outside ASCII degrade to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a newline), so one
+    value per line is a valid JSONL record. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a field; [None] on any other
+    constructor. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts [Int] too — JSON readers routinely print whole floats
+    without a decimal point. *)
+
+val to_string_opt : t -> string option

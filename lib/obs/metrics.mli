@@ -1,0 +1,98 @@
+(** The metrics registry: named counters, gauges and histograms with
+    atomic updates, plus an immutable snapshot/merge API.
+
+    Handles are interned by name (creating twice returns the same
+    instrument; re-using a name with a different kind raises
+    [Invalid_argument]).  Handle {e creation} takes the registry mutex —
+    do it once at module initialisation.  The update operations
+    ([incr]/[add]/[set]/[observe]) are the instrumentation hot path:
+    each is guarded by a single {!Flags.metrics_on} read and performs
+    only atomic arithmetic when enabled, nothing when disabled. *)
+
+type t
+(** A registry.  Instrumented library code uses {!default}; tests create
+    private registries with {!create} to stay isolated. *)
+
+type registry = t
+(** Alias usable inside the instrument submodules, where [t] is the
+    instrument itself. *)
+
+val default : t
+val create : unit -> t
+
+module Counter : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Reads are never guarded — they see whatever was accumulated while
+      metrics were on. *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+
+  val observe : t -> float -> unit
+  (** Records [v] into the fixed log-scale bucket layout shared by every
+      histogram: bucket [i] covers [[bucket_lower i, bucket_upper i)],
+      with bucket 0 also catching zero/negative/NaN values and the last
+      bucket catching overflow. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val nbuckets : int
+  val bucket_index : float -> int
+  val bucket_lower : int -> float
+  val bucket_upper : int -> float
+end
+
+val span_duration : ?registry:t -> string -> float -> unit
+(** [span_duration name dur] accumulates a closed span's duration into
+    the ["span.<name>"] histogram (no-op when metrics are off).  This is
+    how phase breakdowns reach the bench JSON without the bench knowing
+    every span site. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument in place (handles stay valid). *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  buckets : int array;
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+}
+
+type sample = C of int | G of float | H of hist_snapshot
+
+type snapshot = (string * sample) list
+(** Sorted by name — the canonical form {!merge} relies on. *)
+
+val empty_snapshot : snapshot
+
+val snapshot : ?registry:t -> unit -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Associative and commutative, with {!empty_snapshot} as identity:
+    counters and histograms add, gauges keep the max.  Raises
+    [Invalid_argument] if the same name carries different kinds. *)
+
+val sample_to_json : sample -> Json.t
+val snapshot_to_json : snapshot -> Json.t
+val pp_summary : Format.formatter -> snapshot -> unit

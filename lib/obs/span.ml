@@ -1,0 +1,46 @@
+type frame = { id : int; name : string; start : float }
+
+let next_id = Atomic.make 1
+
+(* One span stack per domain: pooled workers each trace their own nesting
+   without locks, and a span closed on domain d can only pop d's stack. *)
+let key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let domain_id () = (Domain.self () :> int)
+
+let current () =
+  match !(Domain.DLS.get key) with [] -> None | fr :: _ -> Some fr.id
+
+let depth () = List.length !(Domain.DLS.get key)
+
+let with_ ?(attrs = []) ~name f =
+  if not (Flags.enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get key in
+    let parent = match !stack with [] -> None | fr :: _ -> Some fr.id in
+    let depth = List.length !stack in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let start = Clock.elapsed () in
+    stack := { id; name; start } :: !stack;
+    let finish error =
+      let dur = Clock.elapsed () -. start in
+      (* pop our own frame even if an inner span leaked (exception paths
+         are popped by their own [finish], so this only drops us) *)
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      Metrics.span_duration name dur;
+      if Flags.trace_on () then
+        Sink.span ~id ~parent ~domain:(domain_id ()) ~depth ~name ~start ~dur
+          ~attrs:(if error then ("error", "true") :: attrs else attrs)
+    in
+    match f () with
+    | v ->
+      finish false;
+      v
+    | exception e ->
+      finish true;
+      raise e
+  end
+
+let time ?(attrs = []) ?(name = "timed") f =
+  let t0 = Clock.now () in
+  let v = if Flags.enabled () then with_ ~attrs ~name f else f () in
+  (v, Clock.now () -. t0)

@@ -1,0 +1,29 @@
+(** Nested wall-time scopes with a per-domain span stack.
+
+    Each domain (the main one and every pooled worker) owns its own
+    stack via [Domain.DLS], so spans opened on different domains nest
+    independently and never contend.  A span is emitted to the trace
+    sink when it {e closes}, carrying its id, parent id (within the same
+    domain), depth, start offset and duration; when metrics are on its
+    duration also accumulates into the ["span.<name>"] histogram.
+
+    When observability is disabled, {!with_} costs one [Atomic.get] and
+    a branch on top of calling [f] — build attribute lists at call sites
+    only under a {!Flags.enabled} check if they require formatting. *)
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span.  If [f] raises, the span is
+    closed with an ["error"] attribute and the exception is re-raised. *)
+
+val time : ?attrs:(string * string) list -> ?name:string -> (unit -> 'a) -> 'a * float
+(** [time f] always returns [f ()]'s result together with its wall-clock
+    seconds (measured whether or not observability is on), wrapping it
+    in a span named [name] (default ["timed"]) when enabled.
+    {!Ttsv_experiments.Timing} is built on this. *)
+
+val current : unit -> int option
+(** Id of the innermost open span on the calling domain, for tagging
+    metric events. *)
+
+val depth : unit -> int
+(** Nesting depth on the calling domain (0 outside any span). *)

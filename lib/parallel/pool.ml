@@ -15,6 +15,22 @@ let max_domains = 64
 let default_chunk = 1024
 let min_parallel = 2048
 
+(* ----------------------------------------------------- observability *)
+
+module Obs_flags = Ttsv_obs.Flags
+module Obs_span = Ttsv_obs.Span
+module Obs_metrics = Ttsv_obs.Metrics
+
+let m_tasks = Obs_metrics.Counter.make "pool.tasks"
+let m_regions = Obs_metrics.Counter.make "pool.regions"
+let m_chunk_s = Obs_metrics.Histogram.make "pool.chunk_seconds"
+let m_idle_s = Obs_metrics.Gauge.make "pool.idle_seconds"
+let m_util = Obs_metrics.Gauge.make "pool.utilization"
+
+let rec atomic_add_float a dx =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. dx)) then atomic_add_float a dx
+
 let env_domains () =
   match Sys.getenv_opt "TTSV_DOMAINS" with
   | None -> None
@@ -147,18 +163,64 @@ let for_chunks ?(chunk = default_chunk) ?(min_size = min_parallel) pool n body =
     else begin
       let next = Atomic.make 0 in
       let failed : exn option Atomic.t = Atomic.make None in
-      let runner () =
-        let continue = ref true in
-        while !continue do
-          let c = Atomic.fetch_and_add next 1 in
-          if c >= nchunks then continue := false
-          else if Atomic.get failed = None then begin
-            try apply c
-            with e -> ignore (Atomic.compare_and_set failed None (Some e))
-          end
-        done
+      (* latch the flag once per region: every domain then agrees on
+         whether this region is instrumented, even if observability is
+         toggled mid-flight *)
+      let obs = Obs_flags.enabled () in
+      let busy = Atomic.make 0. in
+      let step c =
+        try apply c with e -> ignore (Atomic.compare_and_set failed None (Some e))
       in
-      run pool runner;
+      let runner () =
+        if not obs then begin
+          let continue = ref true in
+          while !continue do
+            let c = Atomic.fetch_and_add next 1 in
+            if c >= nchunks then continue := false
+            else if Atomic.get failed = None then step c
+          done
+        end
+        else
+          (* one span per participating domain, on that domain's own
+             stack, carrying its chunk count as a metric event *)
+          Obs_span.with_ ~name:"pool.worker" (fun () ->
+              let tasks = ref 0 in
+              let local_busy = ref 0. in
+              let continue = ref true in
+              while !continue do
+                let c = Atomic.fetch_and_add next 1 in
+                if c >= nchunks then continue := false
+                else if Atomic.get failed = None then begin
+                  let t0 = Ttsv_obs.Clock.now () in
+                  step c;
+                  let dt = Ttsv_obs.Clock.now () -. t0 in
+                  incr tasks;
+                  local_busy := !local_busy +. dt;
+                  Obs_metrics.Counter.incr m_tasks;
+                  Obs_metrics.Histogram.observe m_chunk_s dt
+                end
+              done;
+              atomic_add_float busy !local_busy;
+              if Obs_flags.trace_on () then
+                Ttsv_obs.Sink.metric ?span:(Obs_span.current ()) ~kind:"counter"
+                  ~name:"pool.worker.tasks"
+                  (Ttsv_obs.Json.Int !tasks))
+      in
+      if not obs then run pool runner
+      else
+        Obs_span.with_ ~name:"pool.region"
+          ~attrs:[ ("n", string_of_int n); ("chunks", string_of_int nchunks) ]
+          (fun () ->
+            let t0 = Ttsv_obs.Clock.now () in
+            run pool runner;
+            let dur = Ttsv_obs.Clock.now () -. t0 in
+            Obs_metrics.Counter.incr m_regions;
+            let capacity = dur *. float_of_int pool.ndomains in
+            if capacity > 0. then begin
+              let b = Float.min capacity (Atomic.get busy) in
+              Obs_metrics.Gauge.add m_idle_s (capacity -. b);
+              Obs_metrics.Gauge.set m_util (b /. capacity)
+            end);
       match Atomic.get failed with Some e -> raise e | None -> ()
     end
   end

@@ -43,4 +43,22 @@ val empty : t
 val rung_name : rung -> string
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_attempt : Format.formatter -> attempt -> unit
+
+val default_trace_cap : int
+(** Residual-history entries shown by {!pp} and {!to_json} before the
+    explicit truncation marker kicks in (32). *)
+
+val pp_trace : ?max_trace:int -> Format.formatter -> t -> unit
+(** Print the residual trace capped at [max_trace] (default
+    {!default_trace_cap}) entries, appending
+    ["... (truncated, showing k of n)"] when the history is longer —
+    never the silent full dump.  Raises [Invalid_argument] on a negative
+    cap. *)
+
 val pp : Format.formatter -> t -> unit
+(** Attempts, verdict and (capped, see {!pp_trace}) residual trace. *)
+
+val to_json : ?max_trace:int -> t -> Ttsv_obs.Json.t
+(** Machine-readable form of the record.  The ["trace"] array is capped
+    like {!pp_trace}, with ["truncated"] set [true] and ["trace_len"]
+    carrying the full history length. *)

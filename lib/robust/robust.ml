@@ -3,6 +3,12 @@ module Sparse = Ttsv_numerics.Sparse
 module Dense = Ttsv_numerics.Dense
 module Banded = Ttsv_numerics.Banded
 module Iterative = Ttsv_numerics.Iterative
+module Obs_span = Ttsv_obs.Span
+module Obs_metrics = Ttsv_obs.Metrics
+
+let m_solves = Obs_metrics.Counter.make "solve.count"
+let m_solve_iters = Obs_metrics.Counter.make "solve.iterations"
+let m_solve_wall = Obs_metrics.Histogram.make "solve.wall_seconds"
 
 type reason = Invalid_input of string list | Exhausted
 
@@ -113,13 +119,26 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
       end
     in
     let finish solved_by residual =
+      let wall_time = Unix.gettimeofday () -. start in
+      if Ttsv_obs.Flags.enabled () then begin
+        Obs_metrics.Counter.incr m_solves;
+        Obs_metrics.Counter.add m_solve_iters !total_iters;
+        Obs_metrics.Histogram.observe m_solve_wall wall_time;
+        (* one point event per solve: its value equals this solve's
+           Diagnostics.iterations total, which the trace checker and the
+           acceptance test cross-validate *)
+        if Ttsv_obs.Flags.trace_on () then
+          Ttsv_obs.Sink.metric ?span:(Obs_span.current ()) ~kind:"counter"
+            ~name:"solve.iterations"
+            (Ttsv_obs.Json.Int !total_iters)
+      end;
       {
         Diagnostics.attempts = List.rev !attempts;
         solved_by;
         iterations = !total_iters;
         residual;
         trace = !trace;
-        wall_time = Unix.gettimeofday () -. start;
+        wall_time;
       }
     in
     let run_iterative rung =
@@ -190,9 +209,12 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
           }
       | rung :: rest -> (
         let solution =
-          match rung with
-          | Diagnostics.Cg | Diagnostics.Bicgstab -> run_iterative rung
-          | Diagnostics.Direct -> run_direct ()
+          Obs_span.with_
+            ~name:("robust." ^ Diagnostics.rung_name rung)
+            (fun () ->
+              match rung with
+              | Diagnostics.Cg | Diagnostics.Bicgstab -> run_iterative rung
+              | Diagnostics.Direct -> run_direct ())
         in
         match solution with
         | Some x ->

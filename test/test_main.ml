@@ -40,5 +40,6 @@ let () =
       Test_integration.suite;
       Test_properties.suite;
       Test_parallel.suite;
+      Test_obs.suite;
       Test_golden.suite;
     ]

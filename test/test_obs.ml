@@ -1,0 +1,306 @@
+(* Observability layer: span nesting and per-domain isolation under the
+   pool, histogram bucket geometry, snapshot merge algebra, JSONL
+   round-tripping, the disabled-path cost contract, and the
+   solve.iterations cross-check against the solver diagnostics. *)
+
+module Json = Ttsv_obs.Json
+module Span = Ttsv_obs.Span
+module Metrics = Ttsv_obs.Metrics
+module Sink = Ttsv_obs.Sink
+module Config = Ttsv_obs.Config
+module Pool = Ttsv_parallel.Pool
+module Robust = Ttsv_robust.Robust
+module Diagnostics = Ttsv_robust.Diagnostics
+
+(* ------------------------------------------------------------- harness *)
+
+let read_trace path =
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Json.parse l with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "unparseable JSONL line %S: %s" l e)
+
+(* run [f] with metrics + a fresh temp trace enabled, both switched back
+   off afterwards, and return the parsed trace lines *)
+let traced f =
+  let path = Filename.temp_file "ttsv_obs" ".jsonl" in
+  Config.enable_metrics ();
+  Metrics.reset ();
+  Config.enable_trace path;
+  Fun.protect
+    ~finally:(fun () ->
+      Config.disable_trace ();
+      Config.disable_metrics ())
+    f;
+  let lines = read_trace path in
+  Sys.remove path;
+  lines
+
+let get name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "record without field %S" name
+
+let get_int name j =
+  match Json.to_int_opt (get name j) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %S is not an integer" name
+
+let get_str name j =
+  match Json.to_string_opt (get name j) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string" name
+
+let records kind lines =
+  List.filter (fun j -> Json.member "type" j = Some (Json.String kind)) lines
+
+let span_named name spans =
+  match List.find_opt (fun j -> get_str "name" j = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "no span named %S in the trace" name
+
+(* ------------------------------------------------------------- nesting *)
+
+let test_nesting () =
+  let lines =
+    traced (fun () ->
+        Span.with_ ~name:"outer" (fun () ->
+            Span.with_ ~name:"inner" ~attrs:[ ("k", "v") ] (fun () ->
+                ignore (Sys.opaque_identity (1 + 1)))))
+  in
+  (match lines with
+  | meta :: _ ->
+    Alcotest.(check string) "meta first" "meta" (get_str "type" meta);
+    Alcotest.(check string) "schema" Sink.schema (get_str "schema" meta)
+  | [] -> Alcotest.fail "empty trace");
+  let spans = records "span" lines in
+  let outer = span_named "outer" spans and inner = span_named "inner" spans in
+  Alcotest.(check int) "outer at depth 0" 0 (get_int "depth" outer);
+  Alcotest.(check int) "inner at depth 1" 1 (get_int "depth" inner);
+  Alcotest.(check bool) "outer has no parent" true (get "parent" outer = Json.Null);
+  Alcotest.(check (option int))
+    "inner's parent is outer" (Some (get_int "id" outer))
+    (Json.to_int_opt (get "parent" inner));
+  Alcotest.(check (option string))
+    "inner kept its attrs" (Some "v")
+    (Option.bind (Json.member "attrs" inner) (fun a ->
+         Option.bind (Json.member "k" a) Json.to_string_opt));
+  (* spans are emitted as they close: the inner one must come first *)
+  let order = List.map (fun j -> get_str "name" j) spans in
+  Alcotest.(check (list string)) "close order" [ "inner"; "outer" ] order
+
+let test_domain_isolation () =
+  let leaves = 4096 in
+  let lines =
+    traced (fun () ->
+        Pool.with_pool ~domains:4 (fun pool ->
+            ignore
+              (Pool.map_array pool
+                 (fun i ->
+                   Span.with_ ~name:"leaf" (fun () ->
+                       (* enough work that every worker takes some chunks *)
+                       let acc = ref 0. in
+                       for k = 1 to 200 do
+                         acc := !acc +. (1. /. float_of_int (i + k))
+                       done;
+                       !acc))
+                 (Array.init leaves Fun.id))))
+  in
+  let spans = records "span" lines in
+  let domain_of = Hashtbl.create 256 in
+  List.iter (fun j -> Hashtbl.replace domain_of (get_int "id" j) (get_int "domain" j)) spans;
+  (* a span's parent always lives on the same domain: the DLS stacks
+     never leak frames across workers *)
+  List.iter
+    (fun j ->
+      match Json.to_int_opt (get "parent" j) with
+      | None -> ()
+      | Some p -> (
+        match Hashtbl.find_opt domain_of p with
+        | None -> Alcotest.failf "span %d has an unknown parent %d" (get_int "id" j) p
+        | Some pd ->
+          Alcotest.(check int)
+            (Printf.sprintf "span %d and its parent share a domain" (get_int "id" j))
+            pd (get_int "domain" j)))
+    spans;
+  let leaf_spans = List.filter (fun j -> get_str "name" j = "leaf") spans in
+  Alcotest.(check int) "every task produced a leaf span" leaves (List.length leaf_spans);
+  let domains =
+    List.sort_uniq compare (List.map (fun j -> get_int "domain" j) leaf_spans)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "leaves ran on several domains (saw %d)" (List.length domains))
+    true
+    (List.length domains >= 2)
+
+(* ----------------------------------------------------------- histogram *)
+
+let test_bucket_geometry () =
+  let module H = Metrics.Histogram in
+  Alcotest.(check int) "zero lands in bucket 0" 0 (H.bucket_index 0.);
+  Alcotest.(check int) "negatives land in bucket 0" 0 (H.bucket_index (-3.));
+  Alcotest.(check int) "nan lands in bucket 0" 0 (H.bucket_index Float.nan);
+  Alcotest.(check int) "overflow lands in the last bucket" (H.nbuckets - 1)
+    (H.bucket_index Float.infinity);
+  for i = 1 to H.nbuckets - 2 do
+    Helpers.close
+      (Printf.sprintf "bucket %d upper = bucket %d lower" i (i + 1))
+      (H.bucket_upper i)
+      (H.bucket_lower (i + 1))
+  done
+
+let prop_bucket_contains v =
+  let module H = Metrics.Histogram in
+  let i = H.bucket_index v in
+  H.bucket_lower i <= v && v < H.bucket_upper i
+
+(* ----------------------------------------------------- merge algebra *)
+
+(* Operations use integral values only: float addition over small
+   integers is exact, so merge associativity can be checked with
+   structural equality instead of tolerances. *)
+let gen_ops =
+  let open QCheck2.Gen in
+  let instr = int_range 0 2 in
+  small_list
+    (oneof
+       [
+         (let* i = instr and* v = int_range 0 100 in
+          return (`C (i, v)));
+         (let* i = instr and* v = int_range (-50) 50 in
+          return (`G (i, float_of_int v)));
+         (let* i = instr and* v = int_range 0 1000 in
+          return (`H (i, float_of_int v)));
+       ])
+
+let snapshot_of_ops ops =
+  let r = Metrics.create () in
+  let c = Array.init 3 (fun i -> Metrics.Counter.make ~registry:r (Printf.sprintf "c%d" i)) in
+  let g = Array.init 3 (fun i -> Metrics.Gauge.make ~registry:r (Printf.sprintf "g%d" i)) in
+  let h =
+    Array.init 3 (fun i -> Metrics.Histogram.make ~registry:r (Printf.sprintf "h%d" i))
+  in
+  List.iter
+    (function
+      | `C (i, v) -> Metrics.Counter.add c.(i) v
+      | `G (i, v) -> Metrics.Gauge.set g.(i) v
+      | `H (i, v) -> Metrics.Histogram.observe h.(i) v)
+    ops;
+  Metrics.snapshot ~registry:r ()
+
+let prop_merge_associative (o1, o2, o3) =
+  (* updates are guarded by the metrics flag; restore whatever state the
+     surrounding tests left behind *)
+  Config.enable_metrics ();
+  let finally () = Config.disable_metrics () in
+  Fun.protect ~finally (fun () ->
+      let a = snapshot_of_ops o1 and b = snapshot_of_ops o2 and c = snapshot_of_ops o3 in
+      Metrics.merge a (Metrics.merge b c) = Metrics.merge (Metrics.merge a b) c
+      && Metrics.merge Metrics.empty_snapshot a = a
+      && Metrics.merge a Metrics.empty_snapshot = a)
+
+(* ------------------------------------------------------- JSON round-trip *)
+
+(* dyadic-rational floats are exactly representable, so a faithful
+   printer/parser pair must reproduce them bit-for-bit *)
+let gen_json =
+  let open QCheck2.Gen in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map
+          (fun (m, e) -> Json.Float (float_of_int m /. float_of_int (1 lsl e)))
+          (pair (int_range (-4000) 4000) (int_range 0 10));
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+               map (fun kvs -> Json.Obj kvs) (list_size (int_range 0 4) (pair key (self (n / 2))));
+             ])
+
+let prop_json_roundtrip j = Json.parse (Json.to_string j) = Ok j
+
+(* -------------------------------------------------------- disabled path *)
+
+let test_disabled_path () =
+  Config.disable_trace ();
+  Config.disable_metrics ();
+  Metrics.reset ();
+  let before = Sink.write_count () in
+  let c = Metrics.Counter.make "test.disabled.counter" in
+  let h = Metrics.Histogram.make "test.disabled.hist" in
+  let result =
+    Span.with_ ~name:"off" (fun () ->
+        Metrics.Counter.incr c;
+        Metrics.Histogram.observe h 1.0;
+        (* sink calls without an open trace are silently dropped *)
+        Sink.metric ~kind:"counter" ~name:"off.metric" (Json.Int 1);
+        41 + 1)
+  in
+  Alcotest.(check int) "with_ still returns the result" 42 result;
+  Alcotest.(check int) "no JSONL lines were written" before (Sink.write_count ());
+  Alcotest.(check int) "counter stayed at 0" 0 (Metrics.Counter.value c);
+  Alcotest.(check int) "histogram stayed empty" 0 (Metrics.Histogram.count h);
+  Alcotest.(check (option int)) "no open span" None (Span.current ());
+  Alcotest.(check int) "depth back to 0" 0 (Span.depth ())
+
+(* -------------------------------------------- solve.iterations crosscheck *)
+
+let test_solve_iterations () =
+  let n = 40 in
+  let a =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 2026 |]) (Helpers.gen_spd n)
+  in
+  let b = Array.make n 1. in
+  let expected = ref (-1) in
+  let lines =
+    traced (fun () ->
+        match Robust.solve a b with
+        | Ok (_, d) -> expected := d.Diagnostics.iterations
+        | Error _ -> Alcotest.fail "Robust.solve failed on an SPD system")
+  in
+  Alcotest.(check bool) "the solve converged" true (!expected >= 0);
+  let events =
+    List.filter (fun j -> get_str "name" j = "solve.iterations") (records "metric" lines)
+  in
+  (match events with
+  | [ e ] ->
+    Alcotest.(check (option int))
+      "trace event carries the diagnostics total" (Some !expected)
+      (Json.to_int_opt (get "value" e))
+  | l -> Alcotest.failf "expected exactly one solve.iterations event, got %d" (List.length l));
+  (* the registry counter accumulated the same total (interning returns
+     the instrument the solver wrote to) *)
+  let counter = Metrics.Counter.make "solve.iterations" in
+  Alcotest.(check int) "registry counter agrees" !expected (Metrics.Counter.value counter)
+
+let suite =
+  ( "obs",
+    [
+      Helpers.test "span nesting round-trips through the trace" test_nesting;
+      Helpers.test "per-domain span isolation under a 4-domain pool" test_domain_isolation;
+      Helpers.test "histogram bucket geometry" test_bucket_geometry;
+      Helpers.qtest "histogram bucket bounds contain the sample"
+        QCheck2.Gen.(float_range 1e-12 1e12)
+        prop_bucket_contains;
+      Helpers.qtest ~count:60 "snapshot merge is associative with identity"
+        QCheck2.Gen.(triple gen_ops gen_ops gen_ops)
+        prop_merge_associative;
+      Helpers.qtest "JSON values survive to_string/parse" gen_json prop_json_roundtrip;
+      Helpers.test "disabled path writes nothing and counts nothing" test_disabled_path;
+      Helpers.test "solve.iterations event matches the diagnostics" test_solve_iterations;
+    ] )
