@@ -8,8 +8,12 @@
      dune exec bench/main.exe -- fig5     # one artefact
      dune exec bench/main.exe -- micro    # microbenchmarks only
      dune exec bench/main.exe -- parallel # pool scaling, writes BENCH_parallel.json
+     dune exec bench/main.exe -- precond  # preconditioner ladder, BENCH_precond.json
    Artefacts: fig4 fig5 fig6 fig7 table1 case ablation convergence shape
-   sensitivity nplanes variation nonlinear fillers micro parallel *)
+   sensitivity nplanes variation nonlinear fillers micro parallel precond
+
+   TTSV_BENCH_SMALL=1 shrinks the precond bench to the resolution-1 2-D
+   grid and 1/2 domains — the CI perf-smoke configuration. *)
 
 module E = Ttsv_experiments
 module Params = Ttsv_core.Params
@@ -130,6 +134,31 @@ let parallel_artefacts () =
         0 );
   ]
 
+(* shared run-array rendering: the precond bench nests the same run
+   objects one level deeper, so the phase-breakdown schema stays
+   identical across BENCH_parallel.json and BENCH_precond.json *)
+let buffer_runs buf ~indent runs =
+  let base = match runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan in
+  Buffer.add_string buf (indent ^ "\"runs\": [\n");
+  List.iteri
+    (fun j { domains; wall_s; iterations; phases } ->
+      let phases_json =
+        String.concat ", "
+          (List.map
+             (fun (name, count, sum_s) ->
+               Printf.sprintf "{ \"name\": \"%s\", \"count\": %d, \"sum_s\": %.6f }" name
+                 count sum_s)
+             phases)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s  { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
+            \"iterations\": %d, \"phases\": [%s] }%s\n"
+           indent domains wall_s (base /. wall_s) iterations phases_json
+           (if j = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf (indent ^ "]\n")
+
 let json_of_results results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -140,28 +169,7 @@ let json_of_results results =
   List.iteri
     (fun i r ->
       Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" r.artefact);
-      let base =
-        match r.runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan
-      in
-      Buffer.add_string buf "      \"runs\": [\n";
-      List.iteri
-        (fun j { domains; wall_s; iterations; phases } ->
-          let phases_json =
-            String.concat ", "
-              (List.map
-                 (fun (name, count, sum_s) ->
-                   Printf.sprintf "{ \"name\": \"%s\", \"count\": %d, \"sum_s\": %.6f }" name
-                     count sum_s)
-                 phases)
-          in
-          Buffer.add_string buf
-            (Printf.sprintf
-               "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
-                \"iterations\": %d, \"phases\": [%s] }%s\n"
-               domains wall_s (base /. wall_s) iterations phases_json
-               (if j = List.length r.runs - 1 then "" else ",")))
-        r.runs;
-      Buffer.add_string buf "      ]\n";
+      buffer_runs buf ~indent:"      " r.runs;
       Buffer.add_string buf
         (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
     results;
@@ -212,6 +220,141 @@ let run_parallel () =
     (fun () -> output_string oc (json_of_results results));
   Format.fprintf ppf "@.wrote %s@." bench_json_path
 
+(* ----------------------------------------------------------------- precond *)
+
+module Diagnostics = Ttsv_robust.Diagnostics
+
+(* Preconditioner shoot-out: the same artefacts solved with the ladder
+   pinned to exactly one preconditioner, so the per-run iteration counts
+   (and wall times) are attributable to that preconditioner alone.
+   Writes BENCH_precond.json with the same per-run phase-breakdown
+   schema as BENCH_parallel.json, one level deeper (artefact ->
+   preconditioner -> runs). *)
+let precond_json_path = "BENCH_precond.json"
+
+let precond_rungs =
+  [
+    ("ic0", [ Diagnostics.Cg_ic0 ]);
+    ("ssor", [ Diagnostics.Cg_ssor ]);
+    ("jacobi", [ Diagnostics.Cg ]);
+  ]
+
+type precond_result = {
+  p_artefact : string;
+  by_precond : (string * parallel_run list) list;
+}
+
+(* TTSV_BENCH_SMALL shrinks the bench to the resolution-1 2-D grid at
+   1/2 domains: seconds instead of minutes, for the CI perf-smoke job *)
+let precond_small () =
+  match Sys.getenv_opt "TTSV_BENCH_SMALL" with Some "" | None -> false | Some _ -> true
+
+let precond_artefacts ~small () =
+  let stack = Params.fig5_stack (Units.um 1.) in
+  ( "solve_fv_fig5",
+    fun pool rungs ->
+      let p = Problem.of_stack ~resolution:(if small then 1 else 3) stack in
+      (Solver.solve ?pool ~rungs p).Solver.iterations )
+  ::
+  (if small then []
+   else
+     [
+       ( "solve3_fig5",
+         fun pool rungs ->
+           let p = Problem3.of_stack ~resolution:1 ?pool stack in
+           (Solver3.solve ?pool ~rungs p).Solver3.iterations );
+     ])
+
+let json_of_precond_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"precond\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"artefacts\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\n      \"name\": \"%s\",\n" r.p_artefact);
+      Buffer.add_string buf "      \"preconds\": [\n";
+      List.iteri
+        (fun k (pname, runs) ->
+          Buffer.add_string buf
+            (Printf.sprintf "        {\n          \"name\": \"%s\",\n" pname);
+          buffer_runs buf ~indent:"          " runs;
+          Buffer.add_string buf
+            (Printf.sprintf "        }%s\n"
+               (if k = List.length r.by_precond - 1 then "" else ",")))
+        r.by_precond;
+      Buffer.add_string buf "      ]\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run_precond () =
+  let small = precond_small () in
+  E.Report.heading ppf
+    (if small then "Preconditioner comparison (small CI grid)"
+     else "Preconditioner comparison (iterations and wall time per rung)");
+  ignore (E.Reference.block_coefficients ());
+  let domains = if small then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let metrics_were_on = Ttsv_obs.Flags.metrics_on () in
+  Ttsv_obs.Config.enable_metrics ();
+  let results =
+    List.map
+      (fun (artefact, f) ->
+        Format.fprintf ppf "@.%s:@." artefact;
+        let by_precond =
+          List.map
+            (fun (pname, rungs) ->
+              let runs =
+                List.map
+                  (fun d ->
+                    Obs_metrics.reset ();
+                    let pool = Pool.create ~domains:d () in
+                    let iterations, wall_s =
+                      Fun.protect
+                        ~finally:(fun () -> Pool.shutdown pool)
+                        (fun () -> time (fun () -> f (Some pool) rungs))
+                    in
+                    let phases = phases_of_snapshot (Obs_metrics.snapshot ()) in
+                    { domains = d; wall_s; iterations; phases })
+                  domains
+              in
+              let base =
+                match runs with { wall_s; _ } :: _ -> wall_s | [] -> Float.nan
+              in
+              List.iter
+                (fun { domains; wall_s; iterations; _ } ->
+                  Format.fprintf ppf
+                    "  %-7s domains=%d  %8.3f s  speedup %5.2fx  (%d iterations)@." pname
+                    domains wall_s (base /. wall_s) iterations)
+                runs;
+              (pname, runs))
+            precond_rungs
+        in
+        (* the headline number: how far IC(0) cuts the Jacobi iteration count *)
+        (match
+           ( List.assoc_opt "ic0" by_precond,
+             List.assoc_opt "jacobi" by_precond )
+         with
+        | Some ({ iterations = ic0; _ } :: _), Some ({ iterations = jac; _ } :: _)
+          when ic0 > 0 ->
+          Format.fprintf ppf "  ic0 vs jacobi: %d vs %d iterations (%.1fx fewer)@." ic0 jac
+            (float_of_int jac /. float_of_int ic0)
+        | _ -> ());
+        { p_artefact = artefact; by_precond })
+      (precond_artefacts ~small ())
+  in
+  if not metrics_were_on then Ttsv_obs.Config.disable_metrics ();
+  let oc = open_out precond_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_of_precond_results results));
+  Format.fprintf ppf "@.wrote %s@." precond_json_path
+
 let artefacts : (string * (unit -> unit)) list =
   [
     ("fig4", fun () -> E.Fig4.print ppf ());
@@ -230,6 +373,7 @@ let artefacts : (string * (unit -> unit)) list =
     ("fillers", fun () -> E.Fillers.print ppf ());
     ("micro", run_micro);
     ("parallel", run_parallel);
+    ("precond", run_precond);
   ]
 
 let () =

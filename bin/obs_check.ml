@@ -5,12 +5,15 @@
    Usage:
      obs_check validate TRACE.jsonl [MIN_DEPTH]
      obs_check bench BENCH_parallel.json
+     obs_check precond BENCH_precond.json
 
    [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
    is given, when no span nests that deep.  [bench] only prints
    warnings and always exits 0: phase sums are measured under domain
    scheduling noise, so a mismatch is a signal to look at, not a CI
-   failure. *)
+   failure.  [precond] is a CI gate: it exits 1 unless IC(0)-CG needs
+   strictly fewer than half the Jacobi-CG iterations on every artefact —
+   iteration counts are deterministic, so this check is noise-free. *)
 
 module Json = Ttsv_obs.Json
 
@@ -205,7 +208,71 @@ let bench path =
     artefacts;
   Printf.printf "%s: checked %d runs (warnings, if any, are non-blocking)\n" path !checked
 
-let usage () = fail "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE"
+(* ----------------------------------------------------------------- precond *)
+
+(* CI gate on BENCH_precond.json: IC(0) must earn its place at the top
+   of the escalation ladder by needing < 0.5x the Jacobi-CG iterations
+   on every artefact.  Iteration counts are chunk-deterministic, so the
+   threshold can be hard without flaking. *)
+let precond path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let j = match Json.parse text with Ok j -> j | Error e -> fail "%s: %s" path e in
+  let artefacts =
+    match field "artefacts" j with
+    | Some (Json.List l) -> l
+    | _ -> fail "%s: no \"artefacts\" array" path
+  in
+  if artefacts = [] then fail "%s: empty artefact list" path;
+  let iterations_of precond_entry =
+    match field "runs" precond_entry with
+    | Some (Json.List (first_run :: _)) ->
+      Option.bind (field "iterations" first_run) Json.to_int_opt
+    | _ -> None
+  in
+  List.iter
+    (fun art ->
+      let name =
+        match Option.bind (field "name" art) Json.to_string_opt with
+        | Some n -> n
+        | None -> fail "%s: artefact without a name" path
+      in
+      let preconds =
+        match field "preconds" art with
+        | Some (Json.List l) -> l
+        | _ -> fail "%s: artefact %s has no \"preconds\" array" path name
+      in
+      let find pname =
+        match
+          List.find_opt
+            (fun p ->
+              Option.bind (field "name" p) Json.to_string_opt = Some pname)
+            preconds
+        with
+        | Some p -> (
+          match iterations_of p with
+          | Some i -> i
+          | None -> fail "%s: artefact %s: no iteration count for %s" path name pname)
+        | None -> fail "%s: artefact %s: missing preconditioner %s" path name pname
+      in
+      let ic0 = find "ic0" and jacobi = find "jacobi" in
+      if ic0 <= 0 || jacobi <= 0 then
+        fail "%s: artefact %s: non-positive iteration counts (ic0=%d jacobi=%d)" path name
+          ic0 jacobi;
+      let ratio = float_of_int ic0 /. float_of_int jacobi in
+      if ratio >= 0.5 then
+        fail
+          "%s: artefact %s: IC(0)-CG took %d iterations vs %d for Jacobi-CG (ratio %.2f \
+           >= 0.50) — the strongest rung is not pulling its weight"
+          path name ic0 jacobi ratio;
+      Printf.printf "%s: %s ok — ic0 %d vs jacobi %d iterations (%.1fx fewer)\n" path name
+        ic0 jacobi
+        (float_of_int jacobi /. float_of_int ic0))
+    artefacts
+
+let usage () =
+  fail
+    "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE | obs_check \
+     precond FILE"
 
 let () =
   match Array.to_list Sys.argv with
@@ -215,4 +282,5 @@ let () =
     | Some d -> validate path (Some d)
     | None -> usage ())
   | [ _; "bench"; path ] -> bench path
+  | [ _; "precond"; path ] -> precond path
   | _ -> usage ()

@@ -119,7 +119,7 @@ let obs_t =
 
 let print_rise label dt = Format.printf "%-14s max dT = %6.3f K@." label dt
 
-let run_model ~solver_report ~pool stack coeffs segments resolution = function
+let run_model ~solver_report ~pool ~rungs stack coeffs segments resolution = function
   | `A -> print_rise "Model A" (Model_a.max_rise (Model_a.solve ~coeffs stack))
   | `B ->
     print_rise
@@ -127,10 +127,31 @@ let run_model ~solver_report ~pool stack coeffs segments resolution = function
       (Model_b.max_rise (Model_b.solve_n stack segments))
   | `One_d -> print_rise "Model 1D" (Model_1d.max_rise (Model_1d.solve stack))
   | `Fv ->
-    let res = Solver.solve ~pool (Problem.of_stack ~resolution stack) in
+    let res = Solver.solve ~pool ?rungs (Problem.of_stack ~resolution stack) in
     print_rise "FV reference" (Solver.max_rise res);
     if solver_report then
       Format.printf "@[<v 2>solver report:@,%a@]@." Diagnostics.pp res.Solver.diagnostics
+
+(* pin the FV solve to one preconditioner (the direct fallback stays as
+   the backstop so a pinned run still terminates); "auto" keeps the full
+   escalation ladder *)
+let precond_t =
+  let kinds =
+    [
+      ("auto", None);
+      ("ic0", Some [ Diagnostics.Cg_ic0; Diagnostics.Direct ]);
+      ("ssor", Some [ Diagnostics.Cg_ssor; Diagnostics.Direct ]);
+      ("jacobi", Some [ Diagnostics.Cg; Diagnostics.Bicgstab; Diagnostics.Direct ]);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum kinds) None
+    & info [ "precond" ] ~docv:"KIND"
+        ~doc:
+          "preconditioner for the FV reference solve: $(b,auto) (the full IC(0) -> SSOR -> \
+           Jacobi escalation ladder, the default), or pin $(b,ic0), $(b,ssor) or \
+           $(b,jacobi); combine with $(b,--solver-report) to see the iteration counts")
 
 let solver_report_t =
   Arg.(
@@ -150,7 +171,8 @@ let r_package_t =
     & info [ "r-package" ] ~doc:"sink-to-ambient package resistance [K/W]")
 
 let solve_cmd =
-  let run stack coeffs segments resolution model ambient r_package solver_report domains () =
+  let run stack coeffs segments resolution model ambient r_package solver_report rungs
+      domains () =
     with_pool domains @@ fun pool ->
     let qs = Stack.heat_inputs stack in
     Format.printf "unit cell: %a@." Stack.pp stack;
@@ -158,10 +180,10 @@ let solve_cmd =
     (match model with
     | `All ->
       List.iter
-        (run_model ~solver_report ~pool stack coeffs segments resolution)
+        (run_model ~solver_report ~pool ~rungs stack coeffs segments resolution)
         [ `A; `B; `One_d; `Fv ]
     | (`A | `B | `One_d | `Fv) as m ->
-      run_model ~solver_report ~pool stack coeffs segments resolution m);
+      run_model ~solver_report ~pool ~rungs stack coeffs segments resolution m);
     let detail = Model_a.solve ~coeffs stack in
     Format.printf "@.Model A nodal rises:@.";
     Format.printf "  T0 (TSV foot) = %6.3f K@." detail.Model_a.t0;
@@ -190,7 +212,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ model_t $ ambient_t
-      $ r_package_t $ solver_report_t $ domains_t $ obs_t)
+      $ r_package_t $ solver_report_t $ precond_t $ domains_t $ obs_t)
 
 (* ------------------------------------------------------------------- sweep *)
 

@@ -40,6 +40,7 @@ val try_solve :
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?rungs:Ttsv_robust.Diagnostics.rung list ->
   Problem.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves, escalating through the
@@ -51,7 +52,9 @@ val try_solve :
     observes every linear iteration.  Non-finite or non-positive
     conductivities and non-finite sources are rejected up front as
     [Invalid_input].  [pool] parallelizes assembly and the iterative
-    rungs; results are bitwise identical to a sequential solve. *)
+    rungs; results are bitwise identical to a sequential solve.
+    [rungs] overrides the escalation ladder (e.g. to pin a single
+    preconditioner, as the CLI's [--precond] flag does). *)
 
 val solve :
   ?tol:float ->
@@ -59,6 +62,7 @@ val solve :
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?rungs:Ttsv_robust.Diagnostics.rung list ->
   Problem.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}

@@ -24,18 +24,20 @@ val try_solve :
   ?max_iter:int ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?rungs:Ttsv_robust.Diagnostics.rung list ->
   Problem3.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves ([tol] defaults to [1e-9]);
     every failure is a typed {!Ttsv_robust.Robust.failure}.  [pool]
     parallelizes assembly and the iterative rungs without changing any
-    computed bit. *)
+    computed bit.  [rungs] overrides the escalation ladder. *)
 
 val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?rungs:Ttsv_robust.Diagnostics.rung list ->
   Problem3.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}. *)

@@ -94,15 +94,22 @@ let rejected n x0 where =
     trace = [||];
   }
 
-(* Jacobi-preconditioned conjugate gradients.
+(* Preconditioned conjugate gradients (Jacobi by default, or any
+   [Precond.t] the caller supplies — the Robust ladder passes IC(0) and
+   SSOR here).
 
    Every reduction (dots, residual norms) goes through the chunked
-   [Vec.pdot]/[Vec.pnorm2], whose value does not depend on the pool: the
+   [Vec.pdot]/[Vec.pnorm2], whose value does not depend on the pool, and
+   every preconditioner application is pool-independent too: the
    stagnation/divergence guard therefore observes the *same* residual
-   sequence whether the matvec is pooled or not, and a pooled run takes
-   exactly the iteration count of a sequential one. *)
+   sequence whether the kernels are pooled or not, and a pooled run
+   takes exactly the iteration count of a sequential one.
+
+   The whole solve runs inside one persistent [Pool.with_region], so the
+   thousands of sub-millisecond Krylov kernels are published to
+   already-resident workers instead of paying a fork/join each. *)
 let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) ?pool a b =
+    ?(divergence_factor = default_divergence_factor) ?pool ?precond a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.cg: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.cg: rhs dimension mismatch";
@@ -111,81 +118,90 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
   | None ->
     let max_iter = default_max_iter n max_iter in
     let stagnation_window = resolve_window max_iter stagnation_window in
-    let d = Sparse.diagonal a in
-    let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
-    let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-    let r = Vec.sub b (Sparse.mul ?pool a x) in
-    let z = Vec.map2 ( *. ) precond r in
-    let p = Vec.copy z in
-    let nb = norm_b_floor b in
-    let rz = ref (Vec.pdot ?pool r z) in
-    let res = ref (Vec.pnorm2 ?pool r /. nb) in
-    let trace = ref [ !res ] in
-    let iter = ref 0 in
-    let best = ref !res and best_iter = ref 0 in
-    let status = ref (if !res <= tol then Some Converged else None) in
-    while !status = None && !iter < max_iter do
-      incr iter;
-      let ap = Sparse.mul ?pool a p in
-      let pap = Vec.pdot ?pool p ap in
-      if Float.abs pap < 1e-300 then status := Some (Breakdown "p.Ap underflow")
-      else begin
-        let alpha = !rz /. pap in
-        Vec.paxpy ?pool alpha p x;
-        Vec.paxpy ?pool (-.alpha) ap r;
-        res := Vec.pnorm2 ?pool r /. nb;
-        trace := !res :: !trace;
-        notify on_iterate !iter !res;
-        if !res <= tol then status := Some Converged
-        else begin
-          (match
-             guard ~window:stagnation_window ~growth:divergence_factor best best_iter !iter
-               !res
-           with
-          | Some s -> status := Some s
-          | None -> ());
-          if !status = None then begin
-            let z' = Vec.map2 ( *. ) precond r in
-            let rz' = Vec.pdot ?pool r z' in
-            let beta = rz' /. !rz in
-            rz := rz';
-            for i = 0 to n - 1 do
-              p.(i) <- z'.(i) +. (beta *. p.(i))
-            done
-          end
-        end
-      end
-    done;
-    let status = match !status with Some s -> s | None -> Iteration_limit in
-    (* On any exit that did not just verify [res <= tol] the recurrence
-       residual may have drifted from the truth (most visibly on p.Ap
-       breakdown, where the loop aborts with a stale update); recompute
-       the true residual so [converged] cannot lie. *)
-    let residual =
-      match status with
-      | Converged -> !res
-      | _ -> Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb
+    (* the Jacobi fallback is built only when no preconditioner was
+       supplied: one Sparse.diagonal pass, not a wasted one per call *)
+    let m =
+      match precond with
+      | Some m -> m
+      | None -> Precond.jacobi_of_diagonal (Sparse.diagonal a)
     in
-    let converged = Float.is_finite residual && residual <= tol in
-    record_attempt m_cg_iters m_cg_res !iter residual;
-    {
-      solution = x;
-      iterations = !iter;
-      residual;
-      converged;
-      status = (if converged then Converged else status);
-      trace = Array.of_list (List.rev !trace);
-    }
+    if Precond.dim m <> n then invalid_arg "Iterative.cg: preconditioner dimension mismatch";
+    Ttsv_parallel.Pool.with_region
+      (Option.value pool ~default:Ttsv_parallel.Pool.seq)
+      (fun () ->
+        let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+        let r = Vec.sub b (Sparse.mul ?pool a x) in
+        let z = Precond.apply ?pool m r in
+        let p = Vec.copy z in
+        let nb = norm_b_floor b in
+        let rz = ref (Vec.pdot ?pool r z) in
+        let res = ref (Vec.pnorm2 ?pool r /. nb) in
+        let trace = ref [ !res ] in
+        let iter = ref 0 in
+        let best = ref !res and best_iter = ref 0 in
+        let status = ref (if !res <= tol then Some Converged else None) in
+        while !status = None && !iter < max_iter do
+          incr iter;
+          let ap = Sparse.mul ?pool a p in
+          let pap = Vec.pdot ?pool p ap in
+          if Float.abs pap < 1e-300 then status := Some (Breakdown "p.Ap underflow")
+          else begin
+            let alpha = !rz /. pap in
+            (* fused: x += alpha p and r -= alpha Ap in one pass *)
+            Vec.paxpy2 ?pool alpha p ap x r;
+            res := Vec.pnorm2 ?pool r /. nb;
+            trace := !res :: !trace;
+            notify on_iterate !iter !res;
+            if !res <= tol then status := Some Converged
+            else begin
+              (match
+                 guard ~window:stagnation_window ~growth:divergence_factor best best_iter
+                   !iter !res
+               with
+              | Some s -> status := Some s
+              | None -> ());
+              if !status = None then begin
+                let z' = Precond.apply ?pool m r in
+                let rz' = Vec.pdot ?pool r z' in
+                let beta = rz' /. !rz in
+                rz := rz';
+                (* fused: p <- z' + beta p in one pass *)
+                Vec.pxpby ?pool z' beta p
+              end
+            end
+          end
+        done;
+        let status = match !status with Some s -> s | None -> Iteration_limit in
+        (* On any exit that did not just verify [res <= tol] the recurrence
+           residual may have drifted from the truth (most visibly on p.Ap
+           breakdown, where the loop aborts with a stale update); recompute
+           the true residual so [converged] cannot lie. *)
+        let residual =
+          match status with
+          | Converged -> !res
+          | _ -> Vec.pnorm2 ?pool (Vec.sub b (Sparse.mul ?pool a x)) /. nb
+        in
+        let converged = Float.is_finite residual && residual <= tol in
+        record_attempt m_cg_iters m_cg_res !iter residual;
+        {
+          solution = x;
+          iterations = !iter;
+          residual;
+          converged;
+          status = (if converged then Converged else status);
+          trace = Array.of_list (List.rev !trace);
+        })
 
 let cg_exn ?tol ?max_iter ?x0 a b =
   let r = cg ?tol ?max_iter ?x0 a b in
   if r.converged then r.solution else raise (Not_converged r)
 
-(* Jacobi-preconditioned BiCGStab (van der Vorst).  Same pooled-kernel
-   discipline as [cg]: reductions are chunk-deterministic, so the guard
-   sees identical residuals with or without a pool. *)
+(* Preconditioned BiCGStab (van der Vorst), Jacobi by default.  Same
+   pooled-kernel discipline and persistent region as [cg]: reductions
+   are chunk-deterministic, so the guard sees identical residuals with
+   or without a pool. *)
 let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) ?pool a b =
+    ?(divergence_factor = default_divergence_factor) ?pool ?precond a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.bicgstab: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.bicgstab: rhs dimension mismatch";
@@ -194,9 +210,17 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
   | None ->
     let max_iter = default_max_iter n max_iter in
     let stagnation_window = resolve_window max_iter stagnation_window in
-    let d = Sparse.diagonal a in
-    let precond = Array.map (fun di -> if Float.abs di > 1e-300 then 1. /. di else 1.) d in
-    let apply_m v = Vec.map2 ( *. ) precond v in
+    let m =
+      match precond with
+      | Some m -> m
+      | None -> Precond.jacobi_of_diagonal (Sparse.diagonal a)
+    in
+    if Precond.dim m <> n then
+      invalid_arg "Iterative.bicgstab: preconditioner dimension mismatch";
+    Ttsv_parallel.Pool.with_region
+      (Option.value pool ~default:Ttsv_parallel.Pool.seq)
+      (fun () ->
+    let apply_m v = Precond.apply ?pool m v in
     let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
     let r = Vec.sub b (Sparse.mul ?pool a x) in
     let r_hat = Vec.copy r in
@@ -274,7 +298,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
       converged;
       status = (if converged then Converged else status);
       trace = Array.of_list (List.rev !trace);
-    }
+    })
 
 let stationary name ?(tol = 1e-10) ?max_iter ?on_iterate update a b =
   let n = Sparse.rows a in

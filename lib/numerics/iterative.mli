@@ -45,11 +45,14 @@ val cg :
   ?stagnation_window:int ->
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?precond:Precond.t ->
   Sparse.t ->
   Vec.t ->
   result
 (** [cg a b] solves [a x = b] for symmetric positive-definite [a] with
-    Jacobi (diagonal) preconditioning.  [tol] is the relative residual
+    Jacobi (diagonal) preconditioning by default; pass [precond] to use
+    a stronger {!Precond.t} (IC(0), SSOR) instead — the Jacobi array is
+    then never built.  [tol] is the relative residual
     target (default [1e-10]); [max_iter] defaults to [10 * n];
     [x0] defaults to the zero vector.  [on_iterate] is called with
     [(iteration, relative residual)] after every step.
@@ -62,10 +65,14 @@ val cg :
     is recomputed before reporting, so [converged] cannot be stale.
 
     [pool], when given, runs the matvec and the BLAS-1 kernels across
-    the domain pool.  All reductions are chunk-deterministic
-    ({!Vec.pdot}), so a pooled run observes the exact residual sequence
-    of a sequential run — same iterates, same guard decisions, same
-    iteration count. *)
+    the domain pool, inside one persistent {!Ttsv_parallel.Pool.with_region}
+    spanning the whole solve (the workers stay resident; no per-kernel
+    fork/join).  All reductions are chunk-deterministic ({!Vec.pdot})
+    and preconditioner applications pool-independent, so a pooled run
+    observes the exact residual sequence of a sequential run — same
+    iterates, same guard decisions, same iteration count.  When called
+    from inside a pool task (an outer sweep fan-out), the kernels run
+    sequentially instead of nesting parallelism. *)
 
 val cg_exn : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
 (** Like {!cg} but returns the solution directly and raises
@@ -79,12 +86,14 @@ val bicgstab :
   ?stagnation_window:int ->
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?precond:Precond.t ->
   Sparse.t ->
   Vec.t ->
   result
-(** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning.
-    Guards, callbacks and the [pool] determinism contract as in {!cg};
-    the reported residual is always the recomputed true residual. *)
+(** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning
+    (or the supplied [precond]).  Guards, callbacks, the [pool]
+    determinism contract and the persistent region as in {!cg}; the
+    reported residual is always the recomputed true residual. *)
 
 val jacobi : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
 (** Pointwise Jacobi iteration; requires a nonzero diagonal. *)

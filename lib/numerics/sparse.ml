@@ -153,6 +153,8 @@ let diagonal m =
       done;
       !acc)
 
+let csr m = (m.row_ptr, m.col_idx, m.values)
+
 let get m i j =
   if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
     invalid_arg "Sparse.get: index out of range";

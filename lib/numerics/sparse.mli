@@ -55,6 +55,13 @@ val mul : ?pool:Ttsv_parallel.Pool.t -> t -> Vec.t -> Vec.t
 val diagonal : t -> Vec.t
 (** [diagonal m] extracts the main diagonal (zeros where absent). *)
 
+val csr : t -> int array * int array * float array
+(** [csr m] is [(row_ptr, col_idx, values)] — the internal CSR arrays,
+    with columns sorted strictly increasing within each row.  They are
+    {e the} backing store, not a copy: treat them as read-only.  Used by
+    factorizations ({!Precond}) that need O(nnz) row traversal without
+    closure allocation per entry. *)
+
 val get : t -> int -> int -> float
 (** [get m i j] is the stored value at [(i, j)], or [0.] if absent.
     O(row nnz). *)

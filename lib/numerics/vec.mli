@@ -73,6 +73,16 @@ val paxpy : ?pool:Ttsv_parallel.Pool.t -> float -> t -> t -> unit
 (** Pool-aware {!axpy}.  Elementwise with disjoint writes, hence bitwise
     identical to the sequential update for any domain count. *)
 
+val paxpy2 : ?pool:Ttsv_parallel.Pool.t -> float -> t -> t -> t -> t -> unit
+(** [paxpy2 a p q x r] performs the fused CG update
+    [x <- a*p + x] and [r <- r - a*q] in a single pass (one pool
+    dispatch instead of two).  Bitwise identical to the two separate
+    {!paxpy} calls [paxpy a p x; paxpy (-.a) q r]. *)
+
+val pxpby : ?pool:Ttsv_parallel.Pool.t -> t -> float -> t -> unit
+(** [pxpby z b p] performs the fused direction update [p <- z + b*p] in
+    place, in one pooled pass.  Elementwise, hence pool-independent. *)
+
 val scale_in_place : float -> t -> unit
 (** [scale_in_place a x] performs [x <- a*x] in place. *)
 

@@ -1,3 +1,13 @@
+(* A kernel published into an open region: a chunk queue drained by
+   whichever domains are awake.  [r_step] captures its own exceptions, so
+   [r_done] always reaches [r_nchunks]. *)
+type rtask = {
+  r_nchunks : int;
+  r_next : int Atomic.t;
+  r_done : int Atomic.t;
+  r_step : int -> unit;
+}
+
 type t = {
   ndomains : int;
   mutable workers : unit Domain.t array;
@@ -9,11 +19,33 @@ type t = {
   mutable remaining : int;
   mutable busy : bool;
   mutable stopped : bool;
+  (* persistent-region state: one [with_region] keeps the workers
+     resident while the owner publishes many kernels without paying a
+     fork/join each time *)
+  region_task : rtask option Atomic.t;
+  region_gen : int Atomic.t;
+  region_close : bool Atomic.t;
+  region_parked : int Atomic.t;
+  region_ready : Condition.t;
+  mutable in_region : bool;
+  mutable region_owner : int;
 }
 
 let max_domains = 64
 let default_chunk = 1024
 let min_parallel = 2048
+
+(* Below this size a kernel outside any region runs inline: waking the
+   workers costs a fork/join (condvar broadcast + futex wakeups), which
+   only amortizes on decidedly large vectors.  Inside a region the
+   cheaper [min_parallel] cutoff applies instead. *)
+let fork_join_min = 65536
+
+(* How long a resident worker spins between kernels before parking on
+   the region condvar.  Deliberately short: on an oversubscribed (or
+   single-core) host a spinning worker steals the owner's timeslice, and
+   waking a parked worker costs the owner only one broadcast. *)
+let region_spin = 256
 
 (* ----------------------------------------------------- observability *)
 
@@ -23,6 +55,7 @@ module Obs_metrics = Ttsv_obs.Metrics
 
 let m_tasks = Obs_metrics.Counter.make "pool.tasks"
 let m_regions = Obs_metrics.Counter.make "pool.regions"
+let m_kernels = Obs_metrics.Counter.make "pool.kernels"
 let m_chunk_s = Obs_metrics.Histogram.make "pool.chunk_seconds"
 let m_idle_s = Obs_metrics.Gauge.make "pool.idle_seconds"
 let m_util = Obs_metrics.Gauge.make "pool.utilization"
@@ -30,6 +63,18 @@ let m_util = Obs_metrics.Gauge.make "pool.utilization"
 let rec atomic_add_float a dx =
   let old = Atomic.get a in
   if not (Atomic.compare_and_set a old (old +. dx)) then atomic_add_float a dx
+
+(* ------------------------------------------------- worker identification *)
+
+(* Set while a domain is executing pool task bodies (workers for their
+   whole drain loop, the owner while it runs a fork/join runner).  Any
+   pool entry point that finds the flag set runs inline instead: nested
+   fan-out from inside an outer region would only oversubscribe the
+   machine — and, worse, serialize every inner kernel on the pool
+   mutex. *)
+let am_worker_key = Domain.DLS.new_key (fun () -> ref false)
+let am_worker () = !(Domain.DLS.get am_worker_key)
+let set_am_worker v = Domain.DLS.get am_worker_key := v
 
 let env_domains () =
   match Sys.getenv_opt "TTSV_DOMAINS" with
@@ -48,6 +93,7 @@ let default_domains () =
    runs the published job once (the job itself loops over a shared chunk
    queue), then reports back on [work_done]. *)
 let worker pool =
+  set_am_worker true;
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock pool.m;
@@ -82,6 +128,13 @@ let make ndomains =
     remaining = 0;
     busy = false;
     stopped = false;
+    region_task = Atomic.make None;
+    region_gen = Atomic.make 0;
+    region_close = Atomic.make false;
+    region_parked = Atomic.make 0;
+    region_ready = Condition.create ();
+    in_region = false;
+    region_owner = -1;
   }
 
 let create ?domains () =
@@ -110,43 +163,181 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* Publish [runner] to the workers without blocking the owner.  Returns
+   [false] (and does nothing) when the pool is already busy, so the
+   caller can fall back to running inline. *)
+let post pool runner =
+  Mutex.lock pool.m;
+  if pool.stopped then begin
+    Mutex.unlock pool.m;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  if pool.busy then begin
+    Mutex.unlock pool.m;
+    false
+  end
+  else begin
+    pool.busy <- true;
+    pool.job <- Some runner;
+    pool.gen <- pool.gen + 1;
+    pool.remaining <- Array.length pool.workers;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.m;
+    true
+  end
+
+let wait_done pool =
+  Mutex.lock pool.m;
+  while pool.remaining > 0 do
+    Condition.wait pool.work_done pool.m
+  done;
+  pool.job <- None;
+  pool.busy <- false;
+  Mutex.unlock pool.m
+
 (* Run [runner] on every domain of the pool (caller included) and join.
    Re-entrant launches — a task on this pool starting another region, or
    a foreign thread racing the owner — run inline: the chunk queue still
    drains, just without extra domains. *)
 let run pool runner =
   if Array.length pool.workers = 0 then runner ()
+  else if not (post pool runner) then runner ()
   else begin
-    Mutex.lock pool.m;
-    if pool.stopped then begin
-      Mutex.unlock pool.m;
-      invalid_arg "Pool: used after shutdown"
-    end;
-    if pool.busy then begin
-      Mutex.unlock pool.m;
-      runner ()
-    end
+    (* the owner executes task bodies too: flag it like a worker so user
+       code inside the chunks (sweep points) does not re-enter the pool *)
+    Fun.protect
+      ~finally:(fun () -> set_am_worker false)
+      (fun () ->
+        set_am_worker true;
+        runner ());
+    wait_done pool
+  end
+
+(* ------------------------------------------------- persistent regions *)
+
+let drain_rtask t =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add t.r_next 1 in
+    if c >= t.r_nchunks then continue := false
     else begin
-      pool.busy <- true;
-      pool.job <- Some runner;
-      pool.gen <- pool.gen + 1;
-      pool.remaining <- Array.length pool.workers;
-      Condition.broadcast pool.work_ready;
-      Mutex.unlock pool.m;
-      runner ();
-      Mutex.lock pool.m;
-      while pool.remaining > 0 do
-        Condition.wait pool.work_done pool.m
-      done;
-      pool.job <- None;
-      pool.busy <- false;
-      Mutex.unlock pool.m
+      t.r_step c;
+      Atomic.incr t.r_done
+    end
+  done
+
+(* The job a worker runs for the whole lifetime of a region: watch the
+   kernel generation counter, drain whatever kernel is current, park on
+   [region_ready] when nothing new shows up within the spin budget.  The
+   parking handshake is lost-wakeup-free: the worker re-checks the
+   generation under the mutex, and the owner bumps the (sequentially
+   consistent) generation before reading [region_parked]. *)
+let region_worker pool =
+  let work () =
+    let last = ref (-1) in
+    let spin = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if Atomic.get pool.region_close then continue := false
+      else begin
+        let g = Atomic.get pool.region_gen in
+        if g <> !last then begin
+          last := g;
+          spin := 0;
+          match Atomic.get pool.region_task with
+          | Some t -> drain_rtask t
+          | None -> ()
+        end
+        else if !spin < region_spin then begin
+          incr spin;
+          Domain.cpu_relax ()
+        end
+        else begin
+          Mutex.lock pool.m;
+          Atomic.incr pool.region_parked;
+          while Atomic.get pool.region_gen = !last && not (Atomic.get pool.region_close) do
+            Condition.wait pool.region_ready pool.m
+          done;
+          Atomic.decr pool.region_parked;
+          Mutex.unlock pool.m;
+          spin := 0
+        end
+      end
+    done
+  in
+  if Obs_flags.enabled () then Obs_span.with_ ~name:"pool.worker" work else work ()
+
+let wake_region pool =
+  if Atomic.get pool.region_parked > 0 then begin
+    Mutex.lock pool.m;
+    Condition.broadcast pool.region_ready;
+    Mutex.unlock pool.m
+  end
+
+(* Owner-side kernel dispatch inside an open region: publish the chunk
+   queue, help drain it, then wait for straggler chunks claimed by
+   workers.  The straggler wait spins briefly and then sleeps: on an
+   oversubscribed host the claiming worker needs the CPU to finish. *)
+let region_dispatch pool nchunks apply =
+  let failed : exn option Atomic.t = Atomic.make None in
+  let step c =
+    try apply c with e -> ignore (Atomic.compare_and_set failed None (Some e))
+  in
+  let t =
+    { r_nchunks = nchunks; r_next = Atomic.make 0; r_done = Atomic.make 0; r_step = step }
+  in
+  Atomic.set pool.region_task (Some t);
+  Atomic.incr pool.region_gen;
+  wake_region pool;
+  drain_rtask t;
+  let spins = ref 0 in
+  while Atomic.get t.r_done < nchunks do
+    incr spins;
+    if !spins <= 10_000 then Domain.cpu_relax ()
+    else begin
+      spins := 0;
+      Unix.sleepf 2e-4
+    end
+  done;
+  Atomic.set pool.region_task None;
+  if Obs_flags.enabled () then Obs_metrics.Counter.incr m_kernels;
+  match Atomic.get failed with Some e -> raise e | None -> ()
+
+let with_region pool f =
+  if Array.length pool.workers = 0 || am_worker () then f ()
+  else begin
+    Atomic.set pool.region_close false;
+    if not (post pool (fun () -> region_worker pool)) then f ()
+    else begin
+      pool.region_owner <- (Domain.self () :> int);
+      pool.in_region <- true;
+      let finish () =
+        pool.in_region <- false;
+        pool.region_owner <- -1;
+        Atomic.set pool.region_close true;
+        Mutex.lock pool.m;
+        Condition.broadcast pool.region_ready;
+        Mutex.unlock pool.m;
+        wait_done pool;
+        Atomic.set pool.region_close false
+      in
+      if Obs_flags.enabled () then begin
+        Obs_metrics.Counter.incr m_regions;
+        Obs_span.with_ ~name:"pool.region"
+          ~attrs:[ ("mode", "persistent") ]
+          (fun () -> Fun.protect ~finally:finish f)
+      end
+      else Fun.protect ~finally:finish f
     end
   end
 
+let in_region pool = pool.in_region && pool.region_owner = (Domain.self () :> int)
+
+(* ------------------------------------------------------------ kernels *)
+
 let chunk_count n chunk = (n + chunk - 1) / chunk
 
-let for_chunks ?(chunk = default_chunk) ?(min_size = min_parallel) pool n body =
+let for_chunks ?(chunk = default_chunk) ?min_size pool n body =
   if n < 0 then invalid_arg "Pool.for_chunks: negative size";
   if chunk < 1 then invalid_arg "Pool.for_chunks: chunk must be >= 1";
   (* [seq] is never stopped; a shut-down pool must refuse even work small
@@ -155,11 +346,17 @@ let for_chunks ?(chunk = default_chunk) ?(min_size = min_parallel) pool n body =
   if n > 0 then begin
     let nchunks = chunk_count n chunk in
     let apply c = body ~lo:(c * chunk) ~hi:(Stdlib.min n ((c + 1) * chunk)) in
-    if Array.length pool.workers = 0 || nchunks = 1 || n < min_size then
+    let seq_run () =
       (* sequential fallback: the identical chunk walk, in order *)
       for c = 0 to nchunks - 1 do
         apply c
       done
+    in
+    if Array.length pool.workers = 0 || nchunks = 1 || am_worker () then seq_run ()
+    else if in_region pool then
+      if n < Option.value min_size ~default:min_parallel then seq_run ()
+      else region_dispatch pool nchunks apply
+    else if n < Option.value min_size ~default:fork_join_min then seq_run ()
     else begin
       let next = Atomic.make 0 in
       let failed : exn option Atomic.t = Atomic.make None in

@@ -27,7 +27,23 @@
 
     A region launched from inside another region of the same pool (or
     from a foreign thread while the pool is busy) runs inline on the
-    calling domain instead of deadlocking. *)
+    calling domain instead of deadlocking.  More strongly, any domain
+    currently executing pool task bodies is flagged ({!am_worker}) and
+    every pool entry point it touches — on {e any} pool — degenerates to
+    the inline sequential loop without taking a lock: an inner
+    [Iterative.cg ?pool] under an outer sweep fan-out neither
+    oversubscribes the machine nor serializes on the pool mutex.
+
+    {2 Persistent regions}
+
+    A fork/join per kernel is far too expensive for Krylov loops that
+    issue thousands of sub-millisecond kernels.  {!with_region} keeps
+    the workers resident for the duration of a scope: each kernel inside
+    it is published to the already-awake workers through an atomic task
+    slot (no lock, no condvar on the fast path), and idle workers park
+    on a condition variable after a short spin so an oversubscribed host
+    is not burned by busy-waiting.  Chunk boundaries, and therefore
+    results, are identical to the fork/join and sequential paths. *)
 
 type t
 
@@ -57,17 +73,44 @@ val default_chunk : int
 (** Chunk size used when [?chunk] is omitted (element kernels). *)
 
 val min_parallel : int
-(** Size cutoff: index spaces smaller than this run inline even on a
-    multi-domain pool (the fork/join latency would dominate).  Override
-    per call with [~min_size]. *)
+(** Size cutoff inside an open {!with_region}: index spaces smaller than
+    this run inline on the owner (2048).  Override per call with
+    [~min_size]. *)
+
+val fork_join_min : int
+(** Size cutoff {e outside} any region: kernels below this (65536) run
+    inline rather than paying a fork/join wake-up of the workers.
+    Override per call with [~min_size] — an explicit [~min_size] always
+    wins, in or out of a region. *)
+
+val am_worker : unit -> bool
+(** [true] while the calling domain is executing pool task bodies — a
+    worker domain draining chunks, or the owner running a fork/join
+    runner.  Library code uses it to run nested parallel work inline;
+    exposed for tests and for callers that want to skip setting up
+    parallel state that would never be used. *)
+
+val with_region : t -> (unit -> 'a) -> 'a
+(** [with_region pool f] keeps the pool's workers resident while [f]
+    runs: every pool kernel the {e calling domain} issues inside [f] is
+    handed to the workers through an atomic slot instead of a fresh
+    fork/join, and the in-region [min_size] default drops from
+    {!fork_join_min} to {!min_parallel}.  Runs [f] directly (no region)
+    when the pool has no workers, the pool is already busy, or the
+    caller is itself a pool worker.  Kernels issued by other domains
+    while the region is open fall back to their usual inline path.
+    Reentrant: an inner [with_region] on the same pool is a no-op
+    wrapper.  The region is closed (workers released and joined) when
+    [f] returns or raises. *)
 
 val for_chunks :
   ?chunk:int -> ?min_size:int -> t -> int -> (lo:int -> hi:int -> unit) -> unit
 (** [for_chunks pool n body] applies [body ~lo ~hi] to every chunk
     [[lo, hi)] of [[0, n)].  Chunk boundaries depend only on [n] and
-    [chunk] (default {!default_chunk}).  Exceptions raised by [body]
-    abort the remaining chunks and the first one is re-raised after the
-    region joins. *)
+    [chunk] (default {!default_chunk}).  [min_size] defaults to
+    {!min_parallel} inside an open region and {!fork_join_min} outside.
+    Exceptions raised by [body] abort the remaining chunks and the first
+    one is re-raised after the region joins. *)
 
 val parallel_for : ?chunk:int -> ?min_size:int -> t -> int -> (int -> unit) -> unit
 (** [parallel_for pool n f] runs [f i] for every [i] in [[0, n)], in

@@ -1,6 +1,6 @@
 module Iterative = Ttsv_numerics.Iterative
 
-type rung = Cg | Bicgstab | Direct
+type rung = Cg_ic0 | Cg_ssor | Cg | Bicgstab | Direct
 
 type outcome =
   | Success
@@ -36,7 +36,12 @@ let empty =
     wall_time = 0.;
   }
 
-let rung_name = function Cg -> "cg" | Bicgstab -> "bicgstab" | Direct -> "direct"
+let rung_name = function
+  | Cg_ic0 -> "cg-ic0"
+  | Cg_ssor -> "cg-ssor"
+  | Cg -> "cg"
+  | Bicgstab -> "bicgstab"
+  | Direct -> "direct"
 
 let pp_outcome ppf = function
   | Success -> Format.fprintf ppf "ok"

@@ -8,6 +8,8 @@
     {!Ttsv_fem.Solver3.solve} and the CLI's [--solver-report] flag. *)
 
 type rung =
+  | Cg_ic0  (** IC(0)-preconditioned conjugate gradients (strongest) *)
+  | Cg_ssor  (** SSOR-preconditioned conjugate gradients *)
   | Cg  (** Jacobi-preconditioned conjugate gradients *)
   | Bicgstab  (** Jacobi-preconditioned BiCGStab *)
   | Direct  (** banded or dense LU fallback *)

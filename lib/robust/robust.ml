@@ -3,12 +3,24 @@ module Sparse = Ttsv_numerics.Sparse
 module Dense = Ttsv_numerics.Dense
 module Banded = Ttsv_numerics.Banded
 module Iterative = Ttsv_numerics.Iterative
+module Precond = Ttsv_numerics.Precond
 module Obs_span = Ttsv_obs.Span
 module Obs_metrics = Ttsv_obs.Metrics
 
 let m_solves = Obs_metrics.Counter.make "solve.count"
 let m_solve_iters = Obs_metrics.Counter.make "solve.iterations"
 let m_solve_wall = Obs_metrics.Histogram.make "solve.wall_seconds"
+
+(* one counter per rung, bumped when that rung produces the answer: the
+   fleet-level view of which preconditioner actually carries the load *)
+let all_rungs =
+  [ Diagnostics.Cg_ic0; Diagnostics.Cg_ssor; Diagnostics.Cg; Diagnostics.Bicgstab;
+    Diagnostics.Direct ]
+
+let m_rung =
+  List.map
+    (fun r -> (r, Obs_metrics.Counter.make ("precond.rung." ^ Diagnostics.rung_name r)))
+    all_rungs
 
 type reason = Invalid_input of string list | Exhausted
 
@@ -30,7 +42,9 @@ let pp_failure ppf f =
   Format.fprintf ppf "@[<v>solve failed: %a@,%a@]" pp_reason f.reason Diagnostics.pp
     f.diagnostics
 
-let default_rungs = [ Diagnostics.Cg; Diagnostics.Bicgstab; Diagnostics.Direct ]
+let default_rungs =
+  [ Diagnostics.Cg_ic0; Diagnostics.Cg_ssor; Diagnostics.Cg; Diagnostics.Bicgstab;
+    Diagnostics.Direct ]
 
 (* Direct solves are the last resort: accept them at a looser floor than
    the iterative target, since there is nothing left to escalate to and an
@@ -122,6 +136,9 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
       let wall_time = Unix.gettimeofday () -. start in
       if Ttsv_obs.Flags.enabled () then begin
         Obs_metrics.Counter.incr m_solves;
+        (match solved_by with
+        | Some rung -> Obs_metrics.Counter.incr (List.assoc rung m_rung)
+        | None -> ());
         Obs_metrics.Counter.add m_solve_iters !total_iters;
         Obs_metrics.Histogram.observe m_solve_wall wall_time;
         (* one point event per solve: its value equals this solve's
@@ -141,34 +158,62 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         wall_time;
       }
     in
+    (* Build the preconditioner a rung asks for.  [Error why] means the
+       construction itself failed (IC(0) pivot breakdown at every shift,
+       zero diagonal for SSOR): the rung is recorded as Skipped and the
+       ladder demotes without spending a single iteration. *)
+    let precond_for rung =
+      match rung with
+      | Diagnostics.Cg_ic0 -> (
+        match Precond.ic0 a with
+        | Ok m -> Ok (Some m)
+        | Error why -> Error ("ic0: " ^ why))
+      | Diagnostics.Cg_ssor -> (
+        match Precond.ssor a with
+        | Ok m -> Ok (Some m)
+        | Error why -> Error ("ssor: " ^ why))
+      | Diagnostics.Cg | Diagnostics.Bicgstab -> Ok None
+      | Diagnostics.Direct -> assert false
+    in
     let run_iterative rung =
       let t0 = Unix.gettimeofday () in
-      let solver =
-        match rung with
-        | Diagnostics.Cg -> Iterative.cg
-        | Diagnostics.Bicgstab -> Iterative.bicgstab
-        | Diagnostics.Direct -> assert false
-      in
-      let r =
-        solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor
-          ?pool a b
-      in
-      total_iters := !total_iters + r.Iterative.iterations;
-      trace := r.Iterative.trace;
-      consider r.Iterative.solution r.Iterative.residual;
-      let outcome =
-        if r.Iterative.converged then Diagnostics.Success
-        else Diagnostics.Iterative_failure r.Iterative.status
-      in
-      note
-        {
-          Diagnostics.rung;
-          outcome;
-          iterations = r.Iterative.iterations;
-          residual = r.Iterative.residual;
-          wall_time = Unix.gettimeofday () -. t0;
-        };
-      if r.Iterative.converged then Some r.Iterative.solution else None
+      match precond_for rung with
+      | Error why ->
+        note
+          {
+            Diagnostics.rung;
+            outcome = Diagnostics.Skipped why;
+            iterations = 0;
+            residual = Float.nan;
+            wall_time = Unix.gettimeofday () -. t0;
+          };
+        None
+      | Ok precond ->
+        let solver =
+          match rung with
+          | Diagnostics.Bicgstab -> Iterative.bicgstab
+          | _ -> Iterative.cg
+        in
+        let r =
+          solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor
+            ?pool ?precond a b
+        in
+        total_iters := !total_iters + r.Iterative.iterations;
+        trace := r.Iterative.trace;
+        consider r.Iterative.solution r.Iterative.residual;
+        let outcome =
+          if r.Iterative.converged then Diagnostics.Success
+          else Diagnostics.Iterative_failure r.Iterative.status
+        in
+        note
+          {
+            Diagnostics.rung;
+            outcome;
+            iterations = r.Iterative.iterations;
+            residual = r.Iterative.residual;
+            wall_time = Unix.gettimeofday () -. t0;
+          };
+        if r.Iterative.converged then Some r.Iterative.solution else None
     in
     let run_direct () =
       let t0 = Unix.gettimeofday () in
@@ -213,8 +258,8 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             ~name:("robust." ^ Diagnostics.rung_name rung)
             (fun () ->
               match rung with
-              | Diagnostics.Cg | Diagnostics.Bicgstab -> run_iterative rung
-              | Diagnostics.Direct -> run_direct ())
+              | Diagnostics.Direct -> run_direct ()
+              | _ -> run_iterative rung)
         in
         match solution with
         | Some x ->

@@ -1,10 +1,15 @@
 (** Resilient linear solving: the escalation ladder.
 
-    [solve] climbs a ladder of solver rungs — Jacobi-preconditioned CG,
-    then BiCGStab (warm-started from the best iterate so far), then a
-    direct banded/dense LU fallback — until one of them produces a
-    solution, and returns a {!Diagnostics.t} recording which rungs fired,
-    why the failed ones stopped, and the residual history.  Inputs
+    [solve] climbs a ladder of solver rungs — IC(0)-preconditioned CG
+    first (strongest), demoting to SSOR-CG, then Jacobi-CG, then
+    BiCGStab (warm-started from the best iterate so far), then a direct
+    banded/dense LU fallback — until one of them produces a solution,
+    and returns a {!Diagnostics.t} recording which rungs fired (the
+    preconditioner rung included), why the failed ones stopped, and the
+    residual history.  A preconditioner whose {e construction} fails
+    (IC(0) pivot breakdown at every diagonal shift, SSOR on a zero
+    diagonal) costs zero iterations: the rung is recorded as [Skipped]
+    with the reason and the ladder demotes immediately.  Inputs
     containing NaN/Inf (or with mismatched dimensions) are rejected up
     front without spending a single iteration.
 
@@ -33,7 +38,7 @@ val pp_reason : Format.formatter -> reason -> unit
 val pp_failure : Format.formatter -> failure -> unit
 
 val default_rungs : Diagnostics.rung list
-(** [[Cg; Bicgstab; Direct]]. *)
+(** [[Cg_ic0; Cg_ssor; Cg; Bicgstab; Direct]]. *)
 
 val solve :
   ?tol:float ->

@@ -39,6 +39,7 @@ let () =
       Test_trace.suite;
       Test_integration.suite;
       Test_properties.suite;
+      Test_precond.suite;
       Test_parallel.suite;
       Test_obs.suite;
       Test_golden.suite;

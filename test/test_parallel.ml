@@ -9,6 +9,7 @@ module Pool = Ttsv_parallel.Pool
 module Vec = Ttsv_numerics.Vec
 module Sparse = Ttsv_numerics.Sparse
 module Iterative = Ttsv_numerics.Iterative
+module Precond = Ttsv_numerics.Precond
 module Problem = Ttsv_fem.Problem
 module Solver = Ttsv_fem.Solver
 module Problem3 = Ttsv_fem.Problem3
@@ -132,6 +133,17 @@ let pool_tests =
           "inner reductions"
           (Array.init 64 (fun i -> float_of_int (i + 8)))
           out);
+    test "am_worker marks pool runners and resets outside them" (fun () ->
+        (* regression for the nested-pool slowdown: kernels invoked from
+           inside a pool runner must see am_worker and stay inline
+           instead of re-entering the fork/join machinery *)
+        Alcotest.(check bool) "outside any pool" false (Pool.am_worker ());
+        Pool.with_pool ~domains:2 @@ fun pool ->
+        let all_marked = Atomic.make true in
+        Pool.parallel_for ~chunk:4 ~min_size:2 pool 64 (fun _ ->
+            if not (Pool.am_worker ()) then Atomic.set all_marked false);
+        Alcotest.(check bool) "inside every runner" true (Atomic.get all_marked);
+        Alcotest.(check bool) "cleared after the region" false (Pool.am_worker ()));
     test "TTSV_DOMAINS overrides the default domain count" (fun () ->
         Unix.putenv "TTSV_DOMAINS" "3";
         let p = Pool.create () in
@@ -249,6 +261,53 @@ let fem_tests =
             check_float_array "trace" reference.Iterative.trace r.Iterative.trace;
             check_float_array "solution" reference.Iterative.solution r.Iterative.solution)
           domain_counts);
+    test "preconditioned CG pooled matches sequential iteration-for-iteration" (fun () ->
+        (* the fused kernels and persistent region must not perturb the
+           iteration path of either strong preconditioner *)
+        let p = Problem.of_stack ~resolution:2 (Params.fig5_stack (Units.um 1.)) in
+        let a = Solver.assemble p in
+        List.iter
+          (fun (name, m) ->
+            let reference = Iterative.cg ~tol:1e-10 ~precond:m a p.Problem.source in
+            List.iter
+              (fun d ->
+                Pool.with_pool ~domains:d @@ fun pool ->
+                let r = Iterative.cg ~tol:1e-10 ~pool ~precond:m a p.Problem.source in
+                Alcotest.(check int)
+                  (Printf.sprintf "%s iterations (domains=%d)" name d)
+                  reference.Iterative.iterations r.Iterative.iterations;
+                check_float_array
+                  (Printf.sprintf "%s trace (domains=%d)" name d)
+                  reference.Iterative.trace r.Iterative.trace;
+                check_float_array
+                  (Printf.sprintf "%s solution (domains=%d)" name d)
+                  reference.Iterative.solution r.Iterative.solution)
+              domain_counts)
+          [
+            ("ic0", Result.get_ok (Precond.ic0 a));
+            ("ssor", Result.get_ok (Precond.ssor a));
+          ]);
+    test "inner preconditioned CG under a sweep runs inline and matches" (fun () ->
+        (* a solve launched from inside an outer Sweep worker must not
+           spawn a nested pool: am_worker forces it sequential, so the
+           result is identical to a plain sequential solve *)
+        let p = Problem.of_stack ~resolution:1 (Params.fig5_stack (Units.um 1.)) in
+        let a = Solver.assemble p in
+        let m = Result.get_ok (Precond.ic0 a) in
+        let reference = Iterative.cg ~tol:1e-10 ~precond:m a p.Problem.source in
+        Pool.with_pool ~domains:2 @@ fun pool ->
+        let sols =
+          E.Sweep.map ~pool
+            (fun _ -> Iterative.cg ~tol:1e-10 ~pool ~precond:m a p.Problem.source)
+            [ 0; 1; 2; 3 ]
+        in
+        Array.iter
+          (fun (r : Iterative.result) ->
+            Alcotest.(check int)
+              "nested iterations" reference.Iterative.iterations r.Iterative.iterations;
+            check_float_array "nested solution" reference.Iterative.solution
+              r.Iterative.solution)
+          sols);
     test "pooled BiCGStab matches sequential iteration-for-iteration" (fun () ->
         let p = Problem.of_stack ~resolution:1 (Params.fig5_stack (Units.um 1.)) in
         let a = Solver.assemble p in
