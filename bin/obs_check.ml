@@ -6,6 +6,7 @@
      obs_check validate TRACE.jsonl [MIN_DEPTH]
      obs_check bench BENCH_parallel.json
      obs_check precond BENCH_precond.json
+     obs_check idle TRACE.jsonl MAX_SECONDS
 
    [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
    is given, when no span nests that deep.  [bench] only prints
@@ -13,7 +14,11 @@
    scheduling noise, so a mismatch is a signal to look at, not a CI
    failure.  [precond] is a CI gate: it exits 1 unless IC(0)-CG needs
    strictly fewer than half the Jacobi-CG iterations on every artefact —
-   iteration counts are deterministic, so this check is noise-free. *)
+   iteration counts are deterministic, so this check is noise-free.
+   [idle] is the regression gate on the pool's spin-then-park behaviour:
+   it reads the [pool.idle_seconds] gauge out of the trace's summary
+   lines and exits 1 when the workers burned more than MAX_SECONDS
+   spinning — the failure mode of an idle loop that never parks. *)
 
 module Json = Ttsv_obs.Json
 
@@ -269,10 +274,41 @@ let precond path =
         (float_of_int jacobi /. float_of_int ic0))
     artefacts
 
+(* -------------------------------------------------------------------- idle *)
+
+(* the workers' spin-stretch gauge, summed across summary snapshots (a
+   trace normally carries exactly one).  A pool whose idle loop fails to
+   park shows up here as seconds of spinning per worker per quiet gap,
+   instead of the microseconds a bounded spin costs. *)
+let idle path max_seconds =
+  let total = ref 0. and seen = ref false in
+  List.iter
+    (fun (lineno, line) ->
+      match Json.parse line with
+      | Error _ -> () (* validate's job, not ours *)
+      | Ok j ->
+        if
+          Option.bind (field "type" j) Json.to_string_opt = Some "summary"
+          && Option.bind (field "name" j) Json.to_string_opt = Some "pool.idle_seconds"
+        then (
+          match Option.bind (field "data" j) (fun d -> Option.bind (field "value" d) Json.to_float_opt) with
+          | Some v ->
+            seen := true;
+            total := !total +. v
+          | None -> fail "line %d: pool.idle_seconds summary without a numeric value" lineno))
+    (read_lines path);
+  if not !seen then
+    fail "%s: no pool.idle_seconds summary — did the run use a pool with metrics on?" path;
+  if !total > max_seconds then
+    fail "%s: pool workers spent %.3fs spinning idle (budget %.3fs) — the idle loop is not parking"
+      path !total max_seconds;
+  Printf.printf "%s: OK — pool.idle_seconds %.6fs within the %.3fs budget\n" path !total
+    max_seconds
+
 let usage () =
   fail
     "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE | obs_check \
-     precond FILE"
+     precond FILE | obs_check idle TRACE.jsonl MAX_SECONDS"
 
 let () =
   match Array.to_list Sys.argv with
@@ -283,4 +319,8 @@ let () =
     | None -> usage ())
   | [ _; "bench"; path ] -> bench path
   | [ _; "precond"; path ] -> precond path
+  | [ _; "idle"; path; budget ] -> (
+    match float_of_string_opt budget with
+    | Some b when b >= 0. -> idle path b
+    | _ -> usage ())
   | _ -> usage ()

@@ -25,6 +25,9 @@ module Problem = Ttsv_fem.Problem
 module Solver = Ttsv_fem.Solver
 module Validate = Ttsv_robust.Validate
 module Diagnostics = Ttsv_robust.Diagnostics
+module Robust = Ttsv_robust.Robust
+module Budget = Ttsv_parallel.Budget
+module Json = Ttsv_obs.Json
 module E = Ttsv_experiments
 open Cmdliner
 
@@ -82,6 +85,47 @@ let domains_t =
    down, whatever the command does *)
 let with_pool domains f = Pool.with_pool ?domains f
 
+let deadline_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "wall-clock budget for the FV reference solve; on expiry the solve stops \
+           cooperatively and reports a typed deadline-exceeded diagnostic carrying the best \
+           iterate reached, instead of running to convergence")
+
+(* the deadline is anchored the moment the budget is built, so build it
+   as late as possible — right before the solve *)
+let budget_of_deadline = Option.map (fun d -> Budget.make ~deadline_s:d ())
+
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "record every completed sweep point to $(docv) (JSONL, flushed per point) so an \
+           interrupted run can be restarted with $(b,--resume)")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "load the points already recorded in $(b,--checkpoint) and recompute only the \
+           missing ones; the resumed output is byte-identical to an uninterrupted run")
+
+(* [--checkpoint]/[--resume] plumbing shared by sweep and figures: no
+   file means no checkpointing, [--resume] without a file is almost
+   certainly a mistake, so say so *)
+let with_checkpoint checkpoint resume f =
+  match checkpoint with
+  | None ->
+    if resume then Format.eprintf "warning: --resume has no effect without --checkpoint@.";
+    f None
+  | Some path -> E.Checkpoint.with_file ~resume path (fun cp -> f (Some cp))
+
 let model_t =
   let models = [ ("a", `A); ("b", `B); ("1d", `One_d); ("fv", `Fv); ("all", `All) ] in
   Arg.(value & opt (enum models) `All & info [ "model" ] ~doc:"model to run: a, b, 1d, fv or all")
@@ -119,18 +163,23 @@ let obs_t =
 
 let print_rise label dt = Format.printf "%-14s max dT = %6.3f K@." label dt
 
-let run_model ~solver_report ~pool ~rungs stack coeffs segments resolution = function
+let run_model ~solver_report ~pool ~rungs ~deadline stack coeffs segments resolution = function
   | `A -> print_rise "Model A" (Model_a.max_rise (Model_a.solve ~coeffs stack))
   | `B ->
     print_rise
       (Printf.sprintf "Model B(%d)" segments)
       (Model_b.max_rise (Model_b.solve_n stack segments))
   | `One_d -> print_rise "Model 1D" (Model_1d.max_rise (Model_1d.solve stack))
-  | `Fv ->
-    let res = Solver.solve ~pool ?rungs (Problem.of_stack ~resolution stack) in
-    print_rise "FV reference" (Solver.max_rise res);
-    if solver_report then
-      Format.printf "@[<v 2>solver report:@,%a@]@." Diagnostics.pp res.Solver.diagnostics
+  | `Fv -> (
+    let budget = budget_of_deadline deadline in
+    match Solver.try_solve ~pool ?rungs ?budget (Problem.of_stack ~resolution stack) with
+    | Ok res ->
+      print_rise "FV reference" (Solver.max_rise res);
+      if solver_report then
+        Format.printf "@[<v 2>solver report:@,%a@]@." Diagnostics.pp res.Solver.diagnostics
+    | Error failure ->
+      Format.printf "@[<v 2>FV reference: no converged solution@,%a@]@." Robust.pp_failure
+        failure)
 
 (* pin the FV solve to one preconditioner (the direct fallback stays as
    the backstop so a pinned run still terminates); "auto" keeps the full
@@ -172,7 +221,7 @@ let r_package_t =
 
 let solve_cmd =
   let run stack coeffs segments resolution model ambient r_package solver_report rungs
-      domains () =
+      deadline domains () =
     with_pool domains @@ fun pool ->
     let qs = Stack.heat_inputs stack in
     Format.printf "unit cell: %a@." Stack.pp stack;
@@ -180,10 +229,10 @@ let solve_cmd =
     (match model with
     | `All ->
       List.iter
-        (run_model ~solver_report ~pool ~rungs stack coeffs segments resolution)
+        (run_model ~solver_report ~pool ~rungs ~deadline stack coeffs segments resolution)
         [ `A; `B; `One_d; `Fv ]
     | (`A | `B | `One_d | `Fv) as m ->
-      run_model ~solver_report ~pool ~rungs stack coeffs segments resolution m);
+      run_model ~solver_report ~pool ~rungs ~deadline stack coeffs segments resolution m);
     let detail = Model_a.solve ~coeffs stack in
     Format.printf "@.Model A nodal rises:@.";
     Format.printf "  T0 (TSV foot) = %6.3f K@." detail.Model_a.t0;
@@ -212,7 +261,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ model_t $ ambient_t
-      $ r_package_t $ solver_report_t $ precond_t $ domains_t $ obs_t)
+      $ r_package_t $ solver_report_t $ precond_t $ deadline_t $ domains_t $ obs_t)
 
 (* ------------------------------------------------------------------- sweep *)
 
@@ -228,9 +277,33 @@ let sweep_cmd =
   let to_t = Arg.(value & opt float 20. & info [ "to" ] ~doc:"sweep end [µm]") in
   let points_t = Arg.(value & opt int 10 & info [ "points" ] ~doc:"number of sweep points") in
   let with_fv_t = Arg.(value & flag & info [ "with-fv" ] ~doc:"include the FV reference") in
-  let run stack coeffs segments resolution param from_ to_ points with_fv domains () =
+  (* one sweep row, checkpoint-encoded: [x; a; b; d] plus the FV value
+     when --with-fv is on (arity distinguishes the two shapes) *)
+  let encode_row (x, a, b, d, fv) =
+    Json.List
+      (Json.Float x :: Json.Float a :: Json.Float b :: Json.Float d
+      :: (match fv with None -> [] | Some v -> [ Json.Float v ]))
+  in
+  let decode_row = function
+    | Json.List (jx :: ja :: jb :: jd :: rest) -> (
+      let f = Json.to_float_opt in
+      match (f jx, f ja, f jb, f jd, rest) with
+      | Some x, Some a, Some b, Some d, [] -> Some (x, a, b, d, None)
+      | Some x, Some a, Some b, Some d, [ jfv ] ->
+        Option.map (fun fv -> (x, a, b, d, Some fv)) (f jfv)
+      | _ -> None)
+    | _ -> None
+  in
+  let run stack coeffs segments resolution param from_ to_ points with_fv checkpoint resume
+      domains () =
     if points < 2 then invalid_arg "sweep: need at least two points";
     with_pool domains @@ fun pool ->
+    with_checkpoint checkpoint resume @@ fun checkpoint ->
+    let checkpoint =
+      Option.map
+        (fun cp -> E.Sweep.stage cp ~name:"cli.sweep" ~encode:encode_row ~decode:decode_row)
+        checkpoint
+    in
     let xs = Ttsv_numerics.Vec.linspace from_ to_ points in
     let rebuild x =
       let v = Units.um x in
@@ -246,7 +319,7 @@ let sweep_cmd =
     (* evaluate the (independent) sweep points over the pool; the rows
        come back in sweep order, so the printout is unchanged *)
     let rows =
-      E.Sweep.map_array ~pool
+      E.Sweep.map_array ~pool ?checkpoint
         (fun x ->
           let s = rebuild x in
           let a = Model_a.max_rise (Model_a.solve ~coeffs s) in
@@ -271,7 +344,7 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       const run $ stack_t $ coeffs_t $ segments_t $ resolution_t $ param_t $ from_t $ to_t
-      $ points_t $ with_fv_t $ domains_t $ obs_t)
+      $ points_t $ with_fv_t $ checkpoint_t $ resume_t $ domains_t $ obs_t)
 
 (* ----------------------------------------------------------------- figures *)
 
@@ -285,14 +358,15 @@ let figures_cmd =
             "artefacts to run: fig4 fig5 fig6 fig7 table1 case ablation convergence shape \
              sensitivity nplanes variation nonlinear fillers")
   in
-  let run which domains () =
+  let run which checkpoint resume domains () =
     with_pool domains @@ fun pool ->
+    with_checkpoint checkpoint resume @@ fun checkpoint ->
     let ppf = Format.std_formatter in
     List.iter
       (fun name ->
         match name with
         | "fig4" -> E.Fig4.print ~pool ppf ()
-        | "fig5" -> E.Fig5.print ~pool ppf ()
+        | "fig5" -> E.Fig5.print ~pool ?checkpoint ppf ()
         | "fig6" -> E.Fig6.print ppf ()
         | "fig7" -> E.Fig7.print ~pool ppf ()
         | "table1" -> E.Table1.print ppf ()
@@ -300,7 +374,7 @@ let figures_cmd =
         | "ablation" -> E.Ablation.print ppf ()
         | "convergence" -> E.Convergence.print ppf ()
         | "shape" -> E.Shape.print ppf ()
-        | "sensitivity" -> E.Sensitivity.print ~pool ppf ()
+        | "sensitivity" -> E.Sensitivity.print ~pool ?checkpoint ppf ()
         | "nplanes" -> E.Nplanes.print ~pool ppf ()
         | "variation" -> E.Variation.print ~pool ppf ()
         | "nonlinear" -> E.Nonlinear_study.print ppf ()
@@ -309,7 +383,7 @@ let figures_cmd =
       which
   in
   let info = Cmd.info "figures" ~doc:"regenerate the paper's figures and tables" in
-  Cmd.v info Term.(const run $ which_t $ domains_t $ obs_t)
+  Cmd.v info Term.(const run $ which_t $ checkpoint_t $ resume_t $ domains_t $ obs_t)
 
 (* --------------------------------------------------------------- calibrate *)
 

@@ -1,0 +1,84 @@
+module Json = Ttsv_obs.Json
+
+let version = "ttsv.checkpoint.v1"
+
+type t = {
+  path : string;
+  completed : (string * int, Json.t) Hashtbl.t;
+  oc : out_channel;
+  m : Mutex.t;  (* sweep points record from whichever domain ran them *)
+}
+
+(* A record per completed point.  [value] is whatever the sweep's encoder
+   produced; floats inside survive bitwise (the printer emits %.17g and
+   the parser reads it back exactly), which is what makes a resumed run's
+   artefacts identical to an uninterrupted one. *)
+let line ~stage ~index value =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.String version);
+         ("stage", Json.String stage);
+         ("i", Json.Int index);
+         ("value", value);
+       ])
+
+(* Read back whatever records survive in an interrupted file.  A torn
+   final line (the process was killed mid-write) or any foreign line is
+   skipped, not fatal: the point is simply recomputed. *)
+let read_completed path =
+  let tbl = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let l = input_line ic in
+            match Json.parse l with
+            | Error _ -> ()
+            | Ok j -> (
+              match
+                ( Option.bind (Json.member "v" j) Json.to_string_opt,
+                  Option.bind (Json.member "stage" j) Json.to_string_opt,
+                  Option.bind (Json.member "i" j) Json.to_int_opt,
+                  Json.member "value" j )
+              with
+              | Some v, Some stage, Some i, Some value when v = version ->
+                Hashtbl.replace tbl (stage, i) value
+              | _ -> ())
+          done
+        with End_of_file -> ())
+  end;
+  tbl
+
+let open_ ?(resume = false) path =
+  let completed = if resume then read_completed path else Hashtbl.create 64 in
+  let oc =
+    open_out_gen
+      (if resume then [ Open_append; Open_creat ] else [ Open_trunc; Open_creat; Open_wronly ])
+      0o644 path
+  in
+  { path; completed; oc; m = Mutex.create () }
+
+let close t = close_out_noerr t.oc
+let path t = t.path
+
+let with_file ?resume path f =
+  let t = open_ ?resume path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let completed_count t = Hashtbl.length t.completed
+
+let find t ~stage index =
+  Mutex.protect t.m (fun () -> Hashtbl.find_opt t.completed (stage, index))
+
+(* Flush per record: the whole point is surviving a kill at an arbitrary
+   instant, so a completed point must be durable the moment it returns. *)
+let record t ~stage index value =
+  Mutex.protect t.m (fun () ->
+      Hashtbl.replace t.completed (stage, index) value;
+      output_string t.oc (line ~stage ~index value);
+      output_char t.oc '\n';
+      flush t.oc)

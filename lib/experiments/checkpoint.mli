@@ -1,0 +1,40 @@
+(** JSONL checkpoint files for resumable sweeps.
+
+    A checkpoint records every completed sweep point as one JSON line
+    (append-only, flushed per record), so a killed run can restart with
+    [--resume] and recompute only the unfinished points.  The format:
+
+    {[ {"v":"ttsv.checkpoint.v1","stage":"fig5.fv","i":3,"value":...} ]}
+
+    [stage] namespaces the sweeps sharing one file (a figure runs
+    several); [i] is the point's index in its sweep; [value] is the
+    sweep's own encoding of the result.  Floats round-trip bitwise
+    through the {!Ttsv_obs.Json} printer/parser, so a resumed run's
+    final artefacts are byte-identical to an uninterrupted run's.  On
+    {!open_} with [resume], torn or foreign lines (a kill mid-write)
+    are skipped silently — those points are simply recomputed.
+
+    Thread-safe: sweep points record from whichever pool domain ran
+    them. *)
+
+type t
+
+val open_ : ?resume:bool -> string -> t
+(** [open_ path] creates/truncates the checkpoint file; with
+    [~resume:true] it first loads every valid record already present
+    and then appends.  Raises [Sys_error] when the path is not
+    writable. *)
+
+val close : t -> unit
+val with_file : ?resume:bool -> string -> (t -> 'a) -> 'a
+val path : t -> string
+
+val completed_count : t -> int
+(** Records currently held (loaded + written), across all stages. *)
+
+val find : t -> stage:string -> int -> Ttsv_obs.Json.t option
+(** The recorded value of point [i] of [stage], if completed. *)
+
+val record : t -> stage:string -> int -> Ttsv_obs.Json.t -> unit
+(** Append one completed point and flush — durable the moment it
+    returns. *)

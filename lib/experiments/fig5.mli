@@ -14,9 +14,22 @@ val liners_um : float list
 val segment_counts : int list
 (** The Model B variants shown: 1, 20, 100, 500. *)
 
-val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.figure
+val run :
+  ?resolution:int ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  unit ->
+  Report.figure
 (** [pool] evaluates the sweep points concurrently, results in sweep
-    order. *)
+    order.  [checkpoint] makes the figure resumable: every curve is its
+    own stage (["fig5.model_a"], ["fig5.model_b_100"], ["fig5.fv"], …)
+    and completed points are loaded instead of re-solved, so a resumed
+    figure is identical to an uninterrupted one. *)
 
 val print :
-  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit
+  ?resolution:int ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  Format.formatter ->
+  unit ->
+  unit

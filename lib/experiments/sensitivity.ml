@@ -54,24 +54,49 @@ let log_sensitivity rise param =
   let mid = rise (perturbed param 1.) in
   (up -. down) /. (2. *. h *. mid)
 
-let sensitivities ?resolution ?pool () =
+module Json = Ttsv_obs.Json
+
+(* the checkpointed value of one sweep point: the (S_A, S_B, S_fv)
+   triple — the parameter itself is recovered positionally from
+   [all_parameters] on resume, so it never needs encoding *)
+let encode_triple (a, b, fv) = Json.List [ Json.Float a; Json.Float b; Json.Float fv ]
+
+let decode_triple = function
+  | Json.List [ a; b; fv ] -> (
+    match (Json.to_float_opt a, Json.to_float_opt b, Json.to_float_opt fv) with
+    | Some a, Some b, Some fv -> Some (a, b, fv)
+    | _ -> None)
+  | _ -> None
+
+let sensitivities ?resolution ?pool ?checkpoint () =
   let coeffs = Reference.block_coefficients () in
   let rise_a s = Model_a.max_rise (Model_a.solve ~coeffs s) in
   let rise_b s = Model_b.max_rise (Model_b.solve_n s 100) in
   let rise_fv s = Reference.max_rise ?resolution s in
-  Array.to_list
-    (Sweep.map ?pool
-       (fun p ->
-         (p, log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
-       all_parameters)
+  let checkpoint =
+    Option.map
+      (fun cp ->
+        Sweep.stage cp ~name:"sensitivity" ~encode:encode_triple ~decode:decode_triple)
+      checkpoint
+  in
+  let triples =
+    Sweep.map ?pool ?checkpoint
+      (fun p ->
+        (log_sensitivity rise_a p, log_sensitivity rise_b p, log_sensitivity rise_fv p))
+      all_parameters
+  in
+  List.map2
+    (fun p (a, b, fv) -> (p, a, b, fv))
+    all_parameters
+    (Array.to_list triples)
 
-let run_body ?resolution ?pool () =
+let run_body ?resolution ?pool ?checkpoint () =
   let rows =
     List.map
       (fun (p, a, b, fv) ->
         ( name p,
           [ Printf.sprintf "%+.3f" a; Printf.sprintf "%+.3f" b; Printf.sprintf "%+.3f" fv ] ))
-      (sensitivities ?resolution ?pool ())
+      (sensitivities ?resolution ?pool ?checkpoint ())
   in
   {
     Report.title = "Sensitivity S = dln(max dT)/dln(p) at the Fig. 5 midpoint";
@@ -79,12 +104,13 @@ let run_body ?resolution ?pool () =
     rows;
   }
 
-let run ?resolution ?pool () =
-  Ttsv_obs.Span.with_ ~name:"experiment.sensitivity" (fun () -> run_body ?resolution ?pool ())
+let run ?resolution ?pool ?checkpoint () =
+  Ttsv_obs.Span.with_ ~name:"experiment.sensitivity" (fun () ->
+      run_body ?resolution ?pool ?checkpoint ())
 
-let print ?resolution ?pool ppf () =
+let print ?resolution ?pool ?checkpoint ppf () =
   Format.fprintf ppf "@[<v>";
-  Report.print_table ppf (run ?resolution ?pool ());
+  Report.print_table ppf (run ?resolution ?pool ?checkpoint ());
   Format.fprintf ppf
     "@,negative S: growing the parameter cools the stack; the models must@,\
      reproduce both sign and magnitude to be usable for design exploration.@]@."

@@ -17,16 +17,29 @@ val all_parameters : parameter list
 
 val name : parameter -> string
 
-val run : ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> unit -> Report.table
+val run :
+  ?resolution:int ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  unit ->
+  Report.table
 (** Rows = parameters, columns = S per model plus the FV reference. *)
 
 val sensitivities :
   ?resolution:int ->
   ?pool:Ttsv_parallel.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
   unit ->
   (parameter * float * float * float) list
 (** [(param, S_modelA, S_modelB, S_fv)] rows — the raw numbers behind
-    {!run}, used by the tests. *)
+    {!run}, used by the tests.  [checkpoint] records each parameter's
+    sensitivity triple under the ["sensitivity"] stage; resumed runs
+    recompute only parameters with no record. *)
 
 val print :
-  ?resolution:int -> ?pool:Ttsv_parallel.Pool.t -> Format.formatter -> unit -> unit
+  ?resolution:int ->
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  Format.formatter ->
+  unit ->
+  unit

@@ -1,4 +1,5 @@
 module Pool = Ttsv_parallel.Pool
+module Json = Ttsv_obs.Json
 
 let pool_of = function Some p -> p | None -> Pool.seq
 
@@ -10,10 +11,34 @@ let point i g =
     Ttsv_obs.Span.with_ ~name:"sweep.point" ~attrs:[ ("i", string_of_int i) ] g
   else g ()
 
-let map_array ?pool f xs =
-  Pool.map_array (pool_of pool)
-    (fun i -> point i (fun () -> f xs.(i)))
-    (Array.init (Array.length xs) Fun.id)
+type 'b stage = {
+  cp : Checkpoint.t;
+  stage : string;
+  encode : 'b -> Json.t;
+  decode : Json.t -> 'b option;
+}
 
-let map ?pool f xs = map_array ?pool f (Array.of_list xs)
-let init ?pool n f = map_array ?pool f (Array.init n (fun i -> i))
+let stage cp ~name ~encode ~decode = { cp; stage = name; encode; decode }
+
+let float_stage cp name =
+  stage cp ~name ~encode:(fun y -> Json.Float y) ~decode:Json.to_float_opt
+
+let map_array ?pool ?budget ?checkpoint f xs =
+  let eval i =
+    match checkpoint with
+    | None -> point i (fun () -> f xs.(i))
+    | Some st -> (
+      (* a recorded point short-circuits the evaluation entirely; a new
+         one is made durable the moment it completes, from whichever
+         domain computed it *)
+      match Option.bind (Checkpoint.find st.cp ~stage:st.stage i) st.decode with
+      | Some y -> y
+      | None ->
+        let y = point i (fun () -> f xs.(i)) in
+        Checkpoint.record st.cp ~stage:st.stage i (st.encode y);
+        y)
+  in
+  Pool.map_array ?budget (pool_of pool) eval (Array.init (Array.length xs) Fun.id)
+
+let map ?pool ?budget ?checkpoint f xs = map_array ?pool ?budget ?checkpoint f (Array.of_list xs)
+let init ?pool ?budget ?checkpoint n f = map_array ?pool ?budget ?checkpoint f (Array.init n (fun i -> i))

@@ -13,16 +13,63 @@
 
     When observability is enabled ({!Ttsv_obs.Config}), every point is
     evaluated inside a ["sweep.point"] span tagged with its index, on
-    whichever domain ran it. *)
+    whichever domain ran it.
 
-val map : ?pool:Ttsv_parallel.Pool.t -> ('a -> 'b) -> 'a list -> 'b array
+    {2 Budgets and checkpoints}
+
+    [budget] bounds the sweep cooperatively: it is polled between
+    points, and expiry raises {!Ttsv_parallel.Budget.Expired} to the
+    caller after the in-flight points join.
+
+    [checkpoint] makes the sweep resumable: each completed point is
+    encoded and appended to the {!Checkpoint} file the moment it
+    finishes, and points already recorded there are decoded instead of
+    recomputed.  Since the encoding round-trips floats bitwise, a
+    killed-and-resumed sweep produces results identical to an
+    uninterrupted one while re-evaluating only the unfinished points. *)
+
+type 'b stage
+(** One named sweep inside a {!Checkpoint.t}: where to record, and how
+    to encode/decode the point results. *)
+
+val stage :
+  Checkpoint.t ->
+  name:string ->
+  encode:('b -> Ttsv_obs.Json.t) ->
+  decode:(Ttsv_obs.Json.t -> 'b option) ->
+  'b stage
+(** [decode] returning [None] (a corrupt or foreign value) recomputes
+    the point. *)
+
+val float_stage : Checkpoint.t -> string -> float stage
+(** The common case: sweeps producing one float per point. *)
+
+val map :
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
+  ?checkpoint:'b stage ->
+  ('a -> 'b) ->
+  'a list ->
+  'b array
 (** [map f xs] evaluates [f] over the points of [xs] — over the pool
     when one is given, sequentially otherwise — and returns the results
     in input order. *)
 
-val map_array : ?pool:Ttsv_parallel.Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
+  ?checkpoint:'b stage ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** Array-input variant of {!map}. *)
 
-val init : ?pool:Ttsv_parallel.Pool.t -> int -> (int -> 'a) -> 'a array
+val init :
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
+  ?checkpoint:'a stage ->
+  int ->
+  (int -> 'a) ->
+  'a array
 (** [init n f] is [Array.init n f] with the points evaluated over the
     pool (ordered, deterministic). *)

@@ -148,7 +148,7 @@ let invalid_input problems =
     best_residual = Float.nan;
   }
 
-let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool ?rungs p =
+let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool ?rungs ?budget p =
   match check_problem p with
   | _ :: _ as problems -> Error (invalid_input problems)
   | [] -> (
@@ -157,7 +157,8 @@ let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool ?rungs p =
     let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
     match
       Obs_span.with_ ~name:"solver.solve" (fun () ->
-          Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs matrix p.Problem.source)
+          Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs ?budget matrix
+            p.Problem.source)
     with
     | Error f -> Error f
     | Ok (x, d) ->
@@ -170,8 +171,8 @@ let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool ?rungs p =
           diagnostics = d;
         })
 
-let solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool ?rungs p =
-  match try_solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool ?rungs p with
+let solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool ?rungs ?budget p =
+  match try_solve ?tol ?max_iter ?bottom_h ?on_iterate ?pool ?rungs ?budget p with
   | Ok r -> r
   | Error f -> raise (Robust.Solve_failed f)
 

@@ -41,6 +41,7 @@ val try_solve :
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Problem.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves, escalating through the
@@ -54,7 +55,10 @@ val try_solve :
     [Invalid_input].  [pool] parallelizes assembly and the iterative
     rungs; results are bitwise identical to a sequential solve.
     [rungs] overrides the escalation ladder (e.g. to pin a single
-    preconditioner, as the CLI's [--precond] flag does). *)
+    preconditioner, as the CLI's [--precond] flag does).  [budget]
+    bounds the ladder's wall-clock/work (the CLI's [--deadline]): when
+    it expires the result is an [Error] with reason [Deadline_exceeded]
+    carrying the best iterate reached — never a hang. *)
 
 val solve :
   ?tol:float ->
@@ -63,6 +67,7 @@ val solve :
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Problem.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}

@@ -118,13 +118,14 @@ let assemble ?pool p =
   Obs_span.with_ ~name:"solver3.assemble" (fun () ->
       record_assembly (assemble_rows ?pool p))
 
-let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate ?pool ?rungs p =
+let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate ?pool ?rungs ?budget p =
   let matrix = assemble ?pool p in
   let n = Sparse.rows matrix in
   let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 4000 (10 * n) in
   match
     Obs_span.with_ ~name:"solver3.solve" (fun () ->
-        Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs matrix p.Problem3.source)
+        Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs ?budget matrix
+          p.Problem3.source)
   with
   | Error f -> Error f
   | Ok (x, d) ->
@@ -137,8 +138,8 @@ let try_solve ?(tol = 1e-9) ?max_iter ?on_iterate ?pool ?rungs p =
         diagnostics = d;
       }
 
-let solve ?tol ?max_iter ?on_iterate ?pool ?rungs p =
-  match try_solve ?tol ?max_iter ?on_iterate ?pool ?rungs p with
+let solve ?tol ?max_iter ?on_iterate ?pool ?rungs ?budget p =
+  match try_solve ?tol ?max_iter ?on_iterate ?pool ?rungs ?budget p with
   | Ok r -> r
   | Error f -> raise (Robust.Solve_failed f)
 

@@ -25,12 +25,15 @@ val try_solve :
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Problem3.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves ([tol] defaults to [1e-9]);
     every failure is a typed {!Ttsv_robust.Robust.failure}.  [pool]
     parallelizes assembly and the iterative rungs without changing any
-    computed bit.  [rungs] overrides the escalation ladder. *)
+    computed bit.  [rungs] overrides the escalation ladder.  [budget]
+    bounds the ladder's wall-clock/work: expiry yields an [Error] with
+    reason [Deadline_exceeded] carrying the best iterate reached. *)
 
 val solve :
   ?tol:float ->
@@ -38,6 +41,7 @@ val solve :
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Problem3.t ->
   result
 (** Like {!try_solve} but raises {!Ttsv_robust.Robust.Solve_failed}. *)

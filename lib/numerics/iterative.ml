@@ -1,4 +1,6 @@
 module Obs_metrics = Ttsv_obs.Metrics
+module Budget = Ttsv_parallel.Budget
+module Fault = Ttsv_parallel.Fault
 
 (* per-attempt observability: total Krylov iterations spent and the final
    true relative residual of each attempt, per method *)
@@ -20,6 +22,7 @@ type status =
   | Stagnated of int
   | Diverged of float
   | Non_finite of string
+  | Budget_exhausted of Budget.verdict
 
 type result = {
   solution : Vec.t;
@@ -39,8 +42,18 @@ let pp_status ppf = function
   | Stagnated k -> Format.fprintf ppf "stagnated (%d iterations without progress)" k
   | Diverged factor -> Format.fprintf ppf "diverged (residual grew %.3gx)" factor
   | Non_finite where -> Format.fprintf ppf "non-finite values in %s" where
+  | Budget_exhausted v -> Format.fprintf ppf "budget exhausted (%a)" Budget.pp_verdict v
 
 let norm_b_floor b = Float.max (Vec.norm2 b) 1e-300
+
+(* Budget poll, once per Krylov iteration: overshoot past a deadline is
+   bounded by a single iteration (plus the final true-residual matvec). *)
+let budget_status = function
+  | None -> None
+  | Some b -> (
+    match Budget.check b with Some v -> Some (Budget_exhausted v) | None -> None)
+
+let budget_tick = function Some b -> Budget.tick b | None -> ()
 
 let default_max_iter n max_iter =
   match max_iter with Some m -> m | None -> Stdlib.max 100 (10 * n)
@@ -109,7 +122,7 @@ let rejected n x0 where =
    thousands of sub-millisecond Krylov kernels are published to
    already-resident workers instead of paying a fork/join each. *)
 let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) ?pool ?precond a b =
+    ?(divergence_factor = default_divergence_factor) ?pool ?precond ?budget a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.cg: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.cg: rhs dimension mismatch";
@@ -130,7 +143,10 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
       (Option.value pool ~default:Ttsv_parallel.Pool.seq)
       (fun () ->
         let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-        let r = Vec.sub b (Sparse.mul ?pool a x) in
+        let ax0 = Sparse.mul ?pool a x in
+        budget_tick budget;
+        Fault.poison "matvec" ax0;
+        let r = Vec.sub b ax0 in
         let z = Precond.apply ?pool m r in
         let p = Vec.copy z in
         let nb = norm_b_floor b in
@@ -141,8 +157,13 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
         let best = ref !res and best_iter = ref 0 in
         let status = ref (if !res <= tol then Some Converged else None) in
         while !status = None && !iter < max_iter do
+          match budget_status budget with
+          | Some s -> status := Some s
+          | None ->
           incr iter;
           let ap = Sparse.mul ?pool a p in
+          budget_tick budget;
+          Fault.poison "matvec" ap;
           let pap = Vec.pdot ?pool p ap in
           if Float.abs pap < 1e-300 then status := Some (Breakdown "p.Ap underflow")
           else begin
@@ -201,7 +222,7 @@ let cg_exn ?tol ?max_iter ?x0 a b =
    are chunk-deterministic, so the guard sees identical residuals with
    or without a pool. *)
 let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
-    ?(divergence_factor = default_divergence_factor) ?pool ?precond a b =
+    ?(divergence_factor = default_divergence_factor) ?pool ?precond ?budget a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Iterative.bicgstab: matrix not square";
   if Array.length b <> n then invalid_arg "Iterative.bicgstab: rhs dimension mismatch";
@@ -222,7 +243,10 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
       (fun () ->
     let apply_m v = Precond.apply ?pool m v in
     let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-    let r = Vec.sub b (Sparse.mul ?pool a x) in
+    let ax0 = Sparse.mul ?pool a x in
+    budget_tick budget;
+    Fault.poison "matvec" ax0;
+    let r = Vec.sub b ax0 in
     let r_hat = Vec.copy r in
     let nb = norm_b_floor b in
     let rho = ref 1. and alpha = ref 1. and omega = ref 1. in
@@ -233,6 +257,9 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     let best = ref !res and best_iter = ref 0 in
     let status = ref (if !res <= tol then Some Converged else None) in
     while !status = None && !iter < max_iter do
+      match budget_status budget with
+      | Some s -> status := Some s
+      | None ->
       incr iter;
       let rho' = Vec.pdot ?pool r_hat r in
       if Float.abs rho' < 1e-300 then status := Some (Breakdown "rho underflow")
@@ -244,6 +271,8 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
         done;
         let p_hat = apply_m p in
         let v' = Sparse.mul ?pool a p_hat in
+        budget_tick budget;
+        Fault.poison "matvec" v';
         Array.blit v' 0 v 0 n;
         let denom = Vec.pdot ?pool r_hat v in
         if Float.abs denom < 1e-300 then status := Some (Breakdown "r_hat.v underflow")
@@ -261,6 +290,8 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
           else begin
             let s_hat = apply_m s in
             let t = Sparse.mul ?pool a s_hat in
+            budget_tick budget;
+            Fault.poison "matvec" t;
             let tt = Vec.pdot ?pool t t in
             if Float.abs tt < 1e-300 then status := Some (Breakdown "t.t underflow")
             else begin

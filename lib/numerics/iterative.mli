@@ -22,6 +22,9 @@ type status =
       (** no meaningful residual improvement for that many iterations *)
   | Diverged of float  (** the residual grew by that factor over the best seen *)
   | Non_finite of string  (** NaN/Inf detected in the matrix, rhs or iterates *)
+  | Budget_exhausted of Ttsv_parallel.Budget.verdict
+      (** the {!Ttsv_parallel.Budget} handed to the solver expired; the
+          result carries the iterate reached so far *)
 
 type result = {
   solution : Vec.t;
@@ -46,6 +49,7 @@ val cg :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?precond:Precond.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Sparse.t ->
   Vec.t ->
   result
@@ -72,7 +76,13 @@ val cg :
     observes the exact residual sequence of a sequential run — same
     iterates, same guard decisions, same iteration count.  When called
     from inside a pool task (an outer sweep fan-out), the kernels run
-    sequentially instead of nesting parallelism. *)
+    sequentially instead of nesting parallelism.
+
+    [budget], when given, is polled once per iteration (and ticked once
+    per matvec): an expired budget stops the loop with
+    {!Budget_exhausted}, the result carrying the current iterate and its
+    recomputed true residual — the overshoot past a wall-clock deadline
+    is bounded by one iteration. *)
 
 val cg_exn : ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
 (** Like {!cg} but returns the solution directly and raises
@@ -87,13 +97,15 @@ val bicgstab :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?precond:Precond.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Sparse.t ->
   Vec.t ->
   result
 (** [bicgstab a b] solves general [a x = b] with Jacobi preconditioning
     (or the supplied [precond]).  Guards, callbacks, the [pool]
-    determinism contract and the persistent region as in {!cg}; the
-    reported residual is always the recomputed true residual. *)
+    determinism contract, the persistent region and the [budget]
+    semantics as in {!cg}; the reported residual is always the
+    recomputed true residual. *)
 
 val jacobi : ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> result
 (** Pointwise Jacobi iteration; requires a nonzero diagonal. *)

@@ -1,4 +1,12 @@
 module Pool = Ttsv_parallel.Pool
+module Budget = Ttsv_parallel.Budget
+module Fault = Ttsv_parallel.Fault
+
+(* Constructors are fallible by contract, so the chaos "precond" fault
+   site maps onto the existing Error channel: callers (the Robust
+   ladder) already demote on any construction failure. *)
+let injected () = Fault.fire "precond"
+let injected_error = "injected construction fault"
 
 type kind = Jacobi | Ssor of float | Ic0 of float
 
@@ -56,7 +64,8 @@ let jacobi a = jacobi_of_diagonal (Sparse.diagonal a)
 let ssor ?(omega = 1.0) a =
   if not (omega > 0. && omega < 2.) then invalid_arg "Precond.ssor: omega must be in (0, 2)";
   let n = Sparse.rows a in
-  if Sparse.cols a <> n then Error "matrix not square"
+  if injected () then Error injected_error
+  else if Sparse.cols a <> n then Error "matrix not square"
   else begin
     let d = Sparse.diagonal a in
     if Array.exists (fun di -> Float.abs di < 1e-300) d then Error "zero diagonal entry"
@@ -108,9 +117,10 @@ let default_shifts = [ 0.; 1e-3; 1e-2; 1e-1; 1. ]
    refactor with a progressively larger relative diagonal shift
    (Manteuffel 1980), which this constructor does internally before
    giving up. *)
-let ic0 ?(shifts = default_shifts) a =
+let ic0 ?(shifts = default_shifts) ?budget a =
   let n = Sparse.rows a in
-  if Sparse.cols a <> n then Error "matrix not square"
+  if injected () then Error injected_error
+  else if Sparse.cols a <> n then Error "matrix not square"
   else begin
     let row_ptr, col_idx, values = Sparse.csr a in
     (* lower-triangular pattern, diagonal included and required *)
@@ -184,9 +194,15 @@ let ic0 ?(shifts = default_shifts) a =
         done;
         !ok
       in
+      (* each shift retry is a full O(nnz) refactorization, so the budget
+         is polled between them: an expired budget reports as a
+         construction failure and the ladder demotes to a cheaper rung *)
       let rec attempt = function
         | [] -> Error "non-positive pivot at every diagonal shift"
-        | shift :: rest -> if factor shift then Ok shift else attempt rest
+        | shift :: rest -> (
+          match Option.bind budget Budget.check with
+          | Some v -> Error (Format.asprintf "budget expired (%a)" Budget.pp_verdict v)
+          | None -> if factor shift then Ok shift else attempt rest)
       in
       match attempt shifts with
       | Error _ as e -> e

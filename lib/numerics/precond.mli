@@ -59,13 +59,21 @@ val default_shifts : float list
 (** The relative diagonal shifts {!ic0} tries in order:
     [[0.; 1e-3; 1e-2; 1e-1; 1.]]. *)
 
-val ic0 : ?shifts:float list -> Sparse.t -> (t, string) result
+val ic0 :
+  ?shifts:float list -> ?budget:Ttsv_parallel.Budget.t -> Sparse.t -> (t, string) result
 (** Incomplete Cholesky factorization with zero fill on the lower
     triangle of [a].  On a non-positive pivot the factorization is
     retried from scratch with the next relative diagonal shift in
     [shifts] (the diagonal becomes [a_ii * (1 + shift)]); [Error] when
     every shift breaks down, when the matrix is not square, or when some
-    row has no stored diagonal entry. *)
+    row has no stored diagonal entry.  [budget] is polled between shift
+    retries (each is a full refactorization): an expired budget reports
+    as [Error "budget expired (...)"], and the caller demotes exactly as
+    for a breakdown.
+
+    Both fallible constructors ({!ic0}, {!ssor}) double as the
+    {!Ttsv_parallel.Fault} ["precond"] chaos site: when armed and fired
+    they return [Error "injected construction fault"]. *)
 
 val ic0_shift : t -> float option
 (** The diagonal shift the successful IC(0) factorization used ([0.]

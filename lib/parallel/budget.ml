@@ -1,0 +1,66 @@
+(* A cooperative cancellation token: a wall-clock deadline plus a work
+   budget (matvec-equivalents), checked at natural yield points (solver
+   iterations, preconditioner shift retries, pool chunk boundaries).
+   Nothing preempts: code that never calls [check]/[tick] never stops,
+   which is exactly the contract — kernels stay branch-free and the
+   checks live at iteration granularity, bounding overshoot to one
+   iteration's wall time. *)
+
+type verdict = Deadline_exceeded | Work_exhausted
+
+exception Expired of verdict
+
+type t = {
+  deadline : float;  (* absolute epoch seconds; [infinity] = none *)
+  max_work : int;  (* [max_int] = unlimited *)
+  work : int Atomic.t;  (* shared across [split]s: work is global *)
+}
+
+let pp_verdict ppf = function
+  | Deadline_exceeded -> Format.pp_print_string ppf "deadline exceeded"
+  | Work_exhausted -> Format.pp_print_string ppf "work budget exhausted"
+
+let make ?deadline_s ?max_work () =
+  (match deadline_s with
+  | Some d when not (Float.is_finite d && d >= 0.) ->
+    invalid_arg "Budget.make: deadline_s must be finite and >= 0"
+  | _ -> ());
+  (match max_work with
+  | Some w when w < 0 -> invalid_arg "Budget.make: max_work must be >= 0"
+  | _ -> ());
+  {
+    deadline =
+      (match deadline_s with
+      | Some d -> Unix.gettimeofday () +. d
+      | None -> Float.infinity);
+    max_work = (match max_work with Some w -> w | None -> Stdlib.max_int);
+    work = Atomic.make 0;
+  }
+
+(* An even split of the remaining wall-clock across [ways] sequential
+   phases.  The work counter is deliberately shared (not divided): work
+   is a global cap on matvecs, and splitting it would let an early phase
+   starve later ones of time while leaving work unspent. *)
+let split t ~ways =
+  if ways < 1 then invalid_arg "Budget.split: ways must be >= 1";
+  if Float.is_finite t.deadline then begin
+    let remaining = t.deadline -. Unix.gettimeofday () in
+    let share = Stdlib.max 0. remaining /. float_of_int ways in
+    { t with deadline = Unix.gettimeofday () +. share }
+  end
+  else t
+
+let tick ?(n = 1) t = ignore (Atomic.fetch_and_add t.work n)
+let work_spent t = Atomic.get t.work
+
+let remaining_s t =
+  if Float.is_finite t.deadline then Stdlib.max 0. (t.deadline -. Unix.gettimeofday ())
+  else Float.infinity
+
+let check t =
+  if Atomic.get t.work >= t.max_work then Some Work_exhausted
+  else if Float.is_finite t.deadline && Unix.gettimeofday () > t.deadline then
+    Some Deadline_exceeded
+  else None
+
+let check_exn t = match check t with Some v -> raise (Expired v) | None -> ()

@@ -1,0 +1,59 @@
+(** Cooperative execution budgets: wall-clock deadlines and work caps.
+
+    A budget is a token threaded through the solver stack and checked at
+    natural yield points — once per Krylov iteration, between
+    preconditioner shift retries, between pool chunks.  Nothing is
+    preempted, so a budget can only stop code that polls it; in exchange
+    the kernels stay branch-free and the overshoot past a deadline is
+    bounded by a single iteration's wall time.
+
+    Budgets compose: {!split} hands sequential phases (the rungs of the
+    {!Ttsv_robust.Robust} ladder) an even share of the remaining
+    wall-clock while the work counter stays {e shared} — work measures
+    global effort (matvec-equivalents), not per-phase effort. *)
+
+type verdict =
+  | Deadline_exceeded  (** the wall-clock deadline passed *)
+  | Work_exhausted  (** the work (matvec) cap was reached *)
+
+exception Expired of verdict
+(** Raised by {!check_exn} (and by pool kernels handed a budget) when
+    the budget is spent.  Library code converts it to a typed result at
+    the nearest boundary; it never escapes [Robust.solve]. *)
+
+type t
+
+val make : ?deadline_s:float -> ?max_work:int -> unit -> t
+(** [make ~deadline_s ~max_work ()] starts the clock now: the deadline
+    is [deadline_s] seconds from the call.  Omitted limits are
+    unlimited; [make ()] is a budget that never expires (useful to
+    thread one code path).  Raises [Invalid_argument] on a negative or
+    non-finite [deadline_s] or a negative [max_work]. *)
+
+val split : t -> ways:int -> t
+(** [split t ~ways] is a budget whose deadline is an even [1/ways] share
+    of [t]'s remaining wall-clock, counted from now — used to ration the
+    ladder's remaining time across the rungs still to try.  The work
+    counter is shared with [t] (work is a global cap).  A [t] with no
+    deadline splits to no deadline.  Raises [Invalid_argument] when
+    [ways < 1]. *)
+
+val tick : ?n:int -> t -> unit
+(** Record [n] (default 1) units of work — one unit per matvec is the
+    library convention.  Lock-free; safe from any domain. *)
+
+val check : t -> verdict option
+(** [None] while the budget holds; the verdict once it is spent.  Work
+    is checked before the clock, so a deterministic work cap gives the
+    same verdict on any machine. *)
+
+val check_exn : t -> unit
+(** Raise [Expired v] instead of returning [Some v]. *)
+
+val remaining_s : t -> float
+(** Wall-clock seconds left ([infinity] when no deadline, 0 when past). *)
+
+val work_spent : t -> int
+(** Total work ticked so far (across every {!split} share). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,136 @@
+(* Seeded, deterministic fault injection.  The engine is disarmed (every
+   probe compiles to one atomic load and a branch) unless a spec is
+   installed — by [configure] or by the TTSV_FAULTS environment variable
+   at load.  Each probe site keeps its own draw counter; the decision
+   for draw [i] at site [s] is a pure hash of (seed, s, i), so a given
+   spec replays the same fault sequence per site regardless of wall
+   clock or scheduling. *)
+
+type site_state = { rate : float; draws : int Atomic.t }
+
+type config = {
+  spec : string;  (* the string [configure] accepted, verbatim *)
+  seed : int;
+  sites : (string * site_state) list;
+}
+
+exception Injected of string
+
+let known_sites = [ "matvec"; "precond"; "worker"; "stall" ]
+let state : config option Atomic.t = Atomic.make None
+let injected = Atomic.make 0
+
+module Obs_flags = Ttsv_obs.Flags
+module Obs_metrics = Ttsv_obs.Metrics
+
+let m_injected = Obs_metrics.Counter.make "fault.injected"
+
+(* ---------------------------------------------------------- hashing *)
+
+(* splitmix64 finalizer: a full-avalanche mix, so consecutive draw
+   indices decorrelate completely *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let two_pow_53 = 9007199254740992.0
+
+let uniform ~seed ~site ~draw =
+  let open Int64 in
+  let h = of_int (Hashtbl.hash site) in
+  let z = mix64 (add (of_int seed) (mul h 0x9e3779b97f4a7c15L)) in
+  let z = mix64 (add z (of_int draw)) in
+  to_float (shift_right_logical z 11) /. two_pow_53
+
+(* ---------------------------------------------------------- control *)
+
+let parse spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error "missing ':seed' suffix (expected site=rate[,site=rate...]:seed)"
+  | Some i -> (
+    let pairs = String.sub spec 0 i in
+    let seed_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt (String.trim seed_s) with
+    | None -> Error (Printf.sprintf "seed %S is not an integer" seed_s)
+    | Some seed ->
+      let parse_pair acc pair =
+        match acc with
+        | Error _ as e -> e
+        | Ok sites -> (
+          match String.index_opt pair '=' with
+          | None -> Error (Printf.sprintf "%S is not site=rate" pair)
+          | Some j -> (
+            let name = String.trim (String.sub pair 0 j) in
+            let rate_s = String.sub pair (j + 1) (String.length pair - j - 1) in
+            if not (List.mem name known_sites) then
+              Error
+                (Printf.sprintf "unknown site %S (known: %s)" name
+                   (String.concat ", " known_sites))
+            else if List.mem_assoc name sites then
+              Error (Printf.sprintf "site %S given twice" name)
+            else
+              match float_of_string_opt (String.trim rate_s) with
+              | Some r when Float.is_finite r && r >= 0. && r <= 1. ->
+                Ok ((name, { rate = r; draws = Atomic.make 0 }) :: sites)
+              | Some _ | None ->
+                Error (Printf.sprintf "rate %S for site %S is not in [0, 1]" rate_s name)))
+      in
+      let pieces =
+        List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' pairs)
+      in
+      if pieces = [] then Error "no site=rate pairs before ':seed'"
+      else
+        Result.map
+          (fun sites -> { spec; seed; sites = List.rev sites })
+          (List.fold_left parse_pair (Ok []) pieces))
+
+let configure spec =
+  match parse spec with
+  | Ok c ->
+    Atomic.set state (Some c);
+    Ok ()
+  | Error _ as e -> e
+
+let disarm () = Atomic.set state None
+let armed () = Atomic.get state <> None
+let current_spec () = Option.map (fun c -> c.spec) (Atomic.get state)
+let injected_total () = Atomic.get injected
+
+(* ----------------------------------------------------------- probes *)
+
+let fire site =
+  match Atomic.get state with
+  | None -> false
+  | Some c -> (
+    match List.assoc_opt site c.sites with
+    | None -> false
+    | Some s ->
+      let draw = Atomic.fetch_and_add s.draws 1 in
+      let hit = uniform ~seed:c.seed ~site ~draw < s.rate in
+      if hit then begin
+        Atomic.incr injected;
+        if Obs_flags.enabled () then Obs_metrics.Counter.incr m_injected
+      end;
+      hit)
+
+let raise_if site = if fire site then raise (Injected site)
+
+let poison site v =
+  if fire site && Array.length v > 0 then v.(0) <- Float.nan
+
+(* long enough to exercise the straggler-wait path, short enough that a
+   high stall rate does not blow the test suite's wall time *)
+let stall_seconds = 1e-3
+let stall site = if fire site then Unix.sleepf stall_seconds
+
+(* ---------------------------------------------------- env activation *)
+
+let () =
+  match Sys.getenv_opt "TTSV_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match configure spec with
+    | Ok () -> ()
+    | Error why -> Printf.eprintf "ttsv: ignoring TTSV_FAULTS=%s: %s\n%!" spec why)

@@ -1,0 +1,58 @@
+(** Seeded, deterministic fault injection for chaos testing.
+
+    Disarmed (the default) every probe is one atomic load and a branch —
+    cheap enough to leave compiled into the hot paths.  Armed via
+    {!configure} or the [TTSV_FAULTS] environment variable at program
+    start, each probe site draws from a hash of (seed, site, draw
+    index): a given spec replays the {e same} fault sequence per site on
+    every run, independent of wall clock or domain scheduling.
+
+    {2 Spec grammar}
+
+    {[ TTSV_FAULTS = site=rate[,site=rate...]:seed ]}
+
+    e.g. [matvec=0.05,worker=0.1:42].  Rates are probabilities in
+    [\[0, 1\]]; the seed is any integer.  Sites:
+
+    - [matvec] — poison a matvec product with a NaN ({!poison})
+    - [precond] — fail preconditioner construction ({!raise_if})
+    - [worker] — raise inside a pool worker ({!raise_if})
+    - [stall] — sleep ~1 ms inside a pool worker ({!stall})
+
+    A malformed [TTSV_FAULTS] value prints a warning to stderr and
+    leaves the engine disarmed: a typo must not crash library load. *)
+
+exception Injected of string
+(** Raised by {!raise_if} probes, carrying the site name.  The pool
+    contains it like any worker exception; {!Ttsv_robust.Robust.solve}
+    converts it to a [Skipped] attempt and demotes to the next rung. *)
+
+val configure : string -> (unit, string) result
+(** Install a spec (see the grammar above), replacing any previous one.
+    [Error why] leaves the previous configuration in place. *)
+
+val disarm : unit -> unit
+(** Remove the configuration; every subsequent probe is a no-op. *)
+
+val armed : unit -> bool
+
+val current_spec : unit -> string option
+(** The spec string last accepted by {!configure}, if armed. *)
+
+val fire : string -> bool
+(** [fire site] draws the site's next decision: [true] means inject.
+    Unknown or unconfigured sites never fire.  Thread-safe. *)
+
+val raise_if : string -> unit
+(** Raise [Injected site] when the site's draw fires. *)
+
+val poison : string -> float array -> unit
+(** Overwrite the vector's first element with NaN when the draw fires —
+    models a corrupted kernel result. *)
+
+val stall : string -> unit
+(** Sleep ~1 ms when the draw fires — models a descheduled worker. *)
+
+val injected_total : unit -> int
+(** Faults actually injected since load (all sites).  Tests use it to
+    confirm the engine exercised a path. *)

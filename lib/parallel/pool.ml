@@ -29,6 +29,12 @@ type t = {
   region_ready : Condition.t;
   mutable in_region : bool;
   mutable region_owner : int;
+  (* crash containment: workers that died (exception or injected fault)
+     since creation, and whether the currently open region has lost one —
+     once it has, the owner stops publishing kernels to it and runs them
+     inline instead *)
+  failures : int Atomic.t;
+  region_degraded : bool Atomic.t;
 }
 
 let max_domains = 64
@@ -59,6 +65,7 @@ let m_kernels = Obs_metrics.Counter.make "pool.kernels"
 let m_chunk_s = Obs_metrics.Histogram.make "pool.chunk_seconds"
 let m_idle_s = Obs_metrics.Gauge.make "pool.idle_seconds"
 let m_util = Obs_metrics.Gauge.make "pool.utilization"
+let m_worker_failures = Obs_metrics.Counter.make "pool.worker_failures"
 
 let rec atomic_add_float a dx =
   let old = Atomic.get a in
@@ -89,9 +96,22 @@ let default_domains () =
   | Some n -> n
   | None -> Stdlib.min (Domain.recommended_domain_count ()) 8
 
+(* A worker crashed (its job raised — an injected fault, or a bug in a
+   runner wrapper; chunk-body exceptions are captured closer to the
+   kernel and never reach here).  Count it, degrade any open region to
+   owner-only dispatch, and keep the worker alive for the next job: the
+   join protocol below still decrements [remaining], so the owner never
+   deadlocks on a dead worker. *)
+let note_worker_failure pool =
+  Atomic.incr pool.failures;
+  Atomic.set pool.region_degraded true;
+  if Obs_flags.enabled () then Obs_metrics.Counter.incr m_worker_failures
+
 (* Each worker parks on [work_ready] until the generation counter moves,
    runs the published job once (the job itself loops over a shared chunk
-   queue), then reports back on [work_done]. *)
+   queue), then reports back on [work_done].  The job runs under a
+   catch-all: an escaping exception must not skip the [remaining]
+   decrement, or [wait_done] would hang forever. *)
 let worker pool =
   set_am_worker true;
   let last_gen = ref 0 in
@@ -105,8 +125,15 @@ let worker pool =
       let job = match pool.job with Some j -> j | None -> assert false in
       last_gen := pool.gen;
       Mutex.unlock pool.m;
-      (* the job wrapper records exceptions itself; nothing can escape *)
-      job ();
+      (* worker-exclusive probe point: the owner never executes this
+         line, so an injected crash or stall only ever costs a worker *)
+      (match
+         Fault.stall "stall";
+         Fault.raise_if "worker";
+         job ()
+       with
+      | () -> ()
+      | exception _ -> note_worker_failure pool);
       Mutex.lock pool.m;
       pool.remaining <- pool.remaining - 1;
       if pool.remaining = 0 then Condition.broadcast pool.work_done;
@@ -135,12 +162,20 @@ let make ndomains =
     region_ready = Condition.create ();
     in_region = false;
     region_owner = -1;
+    failures = Atomic.make 0;
+    region_degraded = Atomic.make false;
   }
+
+(* Oversubscription cap: more domains than cores only adds context
+   switching.  Floored at 4 so single-core CI hosts can still exercise
+   the multi-domain code paths the determinism tests pin. *)
+let domain_cap () = Stdlib.max (Domain.recommended_domain_count ()) 4
 
 let create ?domains () =
   let n = match domains with Some n -> n | None -> default_domains () in
   if n < 1 || n > max_domains then
     invalid_arg (Printf.sprintf "Pool.create: domains must be in [1, %d]" max_domains);
+  let n = Stdlib.min n (domain_cap ()) in
   let pool = make n in
   pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
   pool
@@ -233,39 +268,66 @@ let drain_rtask t =
    generation under the mutex, and the owner bumps the (sequentially
    consistent) generation before reading [region_parked]. *)
 let region_worker pool =
+  let obs = Obs_flags.enabled () in
   let work () =
     let last = ref (-1) in
     let spin = ref 0 in
     let continue = ref true in
-    while !continue do
-      if Atomic.get pool.region_close then continue := false
-      else begin
-        let g = Atomic.get pool.region_gen in
-        if g <> !last then begin
-          last := g;
-          spin := 0;
-          match Atomic.get pool.region_task with
-          | Some t -> drain_rtask t
-          | None -> ()
-        end
-        else if !spin < region_spin then begin
-          incr spin;
-          Domain.cpu_relax ()
-        end
-        else begin
-          Mutex.lock pool.m;
-          Atomic.incr pool.region_parked;
-          while Atomic.get pool.region_gen = !last && not (Atomic.get pool.region_close) do
-            Condition.wait pool.region_ready pool.m
-          done;
-          Atomic.decr pool.region_parked;
-          Mutex.unlock pool.m;
-          spin := 0
-        end
+    (* CPU burned between kernels: the spin stretches only — parked time
+       costs nothing and is not counted.  Feeds [pool.idle_seconds], the
+       gauge obs_check asserts stays bounded. *)
+    let idle = ref 0. in
+    let spin_t0 = ref Float.nan in
+    let close_idle () =
+      if obs && not (Float.is_nan !spin_t0) then begin
+        idle := !idle +. (Ttsv_obs.Clock.now () -. !spin_t0);
+        spin_t0 := Float.nan
       end
-    done
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        close_idle ();
+        if obs then Obs_metrics.Gauge.add m_idle_s !idle)
+      (fun () ->
+        while !continue do
+          if Atomic.get pool.region_close then continue := false
+          else begin
+            let g = Atomic.get pool.region_gen in
+            if g <> !last then begin
+              close_idle ();
+              last := g;
+              spin := 0;
+              (* worker-exclusive probe point: a fault injected here is
+                 contained by the catch-all in [worker] and only costs
+                 the region this domain *)
+              Fault.stall "stall";
+              Fault.raise_if "worker";
+              match Atomic.get pool.region_task with
+              | Some t -> drain_rtask t
+              | None -> ()
+            end
+            else if !spin < region_spin then begin
+              if obs && Float.is_nan !spin_t0 then spin_t0 := Ttsv_obs.Clock.now ();
+              incr spin;
+              Domain.cpu_relax ()
+            end
+            else begin
+              close_idle ();
+              Mutex.lock pool.m;
+              Atomic.incr pool.region_parked;
+              while
+                Atomic.get pool.region_gen = !last && not (Atomic.get pool.region_close)
+              do
+                Condition.wait pool.region_ready pool.m
+              done;
+              Atomic.decr pool.region_parked;
+              Mutex.unlock pool.m;
+              spin := 0
+            end
+          end
+        done)
   in
-  if Obs_flags.enabled () then Obs_span.with_ ~name:"pool.worker" work else work ()
+  if obs then Obs_span.with_ ~name:"pool.worker" work else work ()
 
 let wake_region pool =
   if Atomic.get pool.region_parked > 0 then begin
@@ -281,7 +343,12 @@ let wake_region pool =
 let region_dispatch pool nchunks apply =
   let failed : exn option Atomic.t = Atomic.make None in
   let step c =
-    try apply c with e -> ignore (Atomic.compare_and_set failed None (Some e))
+    (* claim-but-skip once something failed: every chunk is still
+       accounted (r_done reaches r_nchunks, so the join below cannot
+       hang) but no further bodies run — what lets a budget expiry or a
+       body exception abort the remaining chunks promptly *)
+    if Atomic.get failed = None then
+      try apply c with e -> ignore (Atomic.compare_and_set failed None (Some e))
   in
   let t =
     { r_nchunks = nchunks; r_next = Atomic.make 0; r_done = Atomic.make 0; r_step = step }
@@ -307,6 +374,7 @@ let with_region pool f =
   if Array.length pool.workers = 0 || am_worker () then f ()
   else begin
     Atomic.set pool.region_close false;
+    Atomic.set pool.region_degraded false;
     if not (post pool (fun () -> region_worker pool)) then f ()
     else begin
       pool.region_owner <- (Domain.self () :> int);
@@ -337,7 +405,7 @@ let in_region pool = pool.in_region && pool.region_owner = (Domain.self () :> in
 
 let chunk_count n chunk = (n + chunk - 1) / chunk
 
-let for_chunks ?(chunk = default_chunk) ?min_size pool n body =
+let for_chunks ?(chunk = default_chunk) ?min_size ?budget pool n body =
   if n < 0 then invalid_arg "Pool.for_chunks: negative size";
   if chunk < 1 then invalid_arg "Pool.for_chunks: chunk must be >= 1";
   (* [seq] is never stopped; a shut-down pool must refuse even work small
@@ -345,7 +413,13 @@ let for_chunks ?(chunk = default_chunk) ?min_size pool n body =
   if pool.stopped then invalid_arg "Pool: used after shutdown";
   if n > 0 then begin
     let nchunks = chunk_count n chunk in
-    let apply c = body ~lo:(c * chunk) ~hi:(Stdlib.min n ((c + 1) * chunk)) in
+    let apply c =
+      (* one budget poll per chunk: on the parallel paths the raise is
+         captured like any body exception and re-raised after the join,
+         so no chunk claim is ever lost to an expiry *)
+      (match budget with Some b -> Budget.check_exn b | None -> ());
+      body ~lo:(c * chunk) ~hi:(Stdlib.min n ((c + 1) * chunk))
+    in
     let seq_run () =
       (* sequential fallback: the identical chunk walk, in order *)
       for c = 0 to nchunks - 1 do
@@ -354,7 +428,8 @@ let for_chunks ?(chunk = default_chunk) ?min_size pool n body =
     in
     if Array.length pool.workers = 0 || nchunks = 1 || am_worker () then seq_run ()
     else if in_region pool then
-      if n < Option.value min_size ~default:min_parallel then seq_run ()
+      if n < Option.value min_size ~default:min_parallel || Atomic.get pool.region_degraded
+      then seq_run ()
       else region_dispatch pool nchunks apply
     else if n < Option.value min_size ~default:fork_join_min then seq_run ()
     else begin
@@ -422,13 +497,13 @@ let for_chunks ?(chunk = default_chunk) ?min_size pool n body =
     end
   end
 
-let parallel_for ?chunk ?min_size pool n f =
-  for_chunks ?chunk ?min_size pool n (fun ~lo ~hi ->
+let parallel_for ?chunk ?min_size ?budget pool n f =
+  for_chunks ?chunk ?min_size ?budget pool n (fun ~lo ~hi ->
       for i = lo to hi - 1 do
         f i
       done)
 
-let map_reduce ?(chunk = default_chunk) ?min_size pool ~n ~map ~reduce ~init =
+let map_reduce ?(chunk = default_chunk) ?min_size ?budget pool ~n ~map ~reduce ~init =
   if n < 0 then invalid_arg "Pool.map_reduce: negative size";
   if chunk < 1 then invalid_arg "Pool.map_reduce: chunk must be >= 1";
   if n = 0 then init
@@ -437,21 +512,24 @@ let map_reduce ?(chunk = default_chunk) ?min_size pool ~n ~map ~reduce ~init =
     let partials = Array.make nchunks None in
     (* writes land in disjoint slots keyed by chunk index, so the fold
        below sees them in deterministic order no matter who computed what *)
-    for_chunks ~chunk ?min_size pool n (fun ~lo ~hi -> partials.(lo / chunk) <- Some (map ~lo ~hi));
+    for_chunks ~chunk ?min_size ?budget pool n (fun ~lo ~hi ->
+        partials.(lo / chunk) <- Some (map ~lo ~hi));
     Array.fold_left
       (fun acc p -> match p with Some v -> reduce acc v | None -> assert false)
       init partials
   end
 
-let map_array ?(chunk = 1) pool f xs =
+let map_array ?(chunk = 1) ?budget pool f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
     (* min_size 2: sweep points are coarse, parallelize from two tasks up *)
-    for_chunks ~chunk ~min_size:2 pool n (fun ~lo ~hi ->
+    for_chunks ~chunk ~min_size:2 ?budget pool n (fun ~lo ~hi ->
         for i = lo to hi - 1 do
           out.(i) <- Some (f xs.(i))
         done);
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+let worker_failures pool = Atomic.get pool.failures

@@ -51,7 +51,11 @@ val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] workers.  [domains]
     defaults to the [TTSV_DOMAINS] environment variable when set, and
     otherwise to [Domain.recommended_domain_count ()] capped at 8.
-    Raises [Invalid_argument] outside [1, 64]. *)
+    Raises [Invalid_argument] outside [1, 64]; values inside the range
+    are then capped at [max (Domain.recommended_domain_count ()) 4] —
+    oversubscribing cores only adds context switching, while the floor
+    of 4 keeps multi-domain paths testable on single-core hosts.
+    {!domains} reports the capped count. *)
 
 val seq : t
 (** The shared 1-domain pool: no workers, every operation runs inline.
@@ -104,15 +108,25 @@ val with_region : t -> (unit -> 'a) -> 'a
     [f] returns or raises. *)
 
 val for_chunks :
-  ?chunk:int -> ?min_size:int -> t -> int -> (lo:int -> hi:int -> unit) -> unit
+  ?chunk:int ->
+  ?min_size:int ->
+  ?budget:Budget.t ->
+  t ->
+  int ->
+  (lo:int -> hi:int -> unit) ->
+  unit
 (** [for_chunks pool n body] applies [body ~lo ~hi] to every chunk
     [[lo, hi)] of [[0, n)].  Chunk boundaries depend only on [n] and
     [chunk] (default {!default_chunk}).  [min_size] defaults to
     {!min_parallel} inside an open region and {!fork_join_min} outside.
     Exceptions raised by [body] abort the remaining chunks and the first
-    one is re-raised after the region joins. *)
+    one is re-raised after the region joins.  [budget], when given, is
+    polled once per chunk: an expired budget aborts the remaining
+    chunks the same way and [Budget.Expired] is raised after the join —
+    never from a worker, and never losing a chunk claim. *)
 
-val parallel_for : ?chunk:int -> ?min_size:int -> t -> int -> (int -> unit) -> unit
+val parallel_for :
+  ?chunk:int -> ?min_size:int -> ?budget:Budget.t -> t -> int -> (int -> unit) -> unit
 (** [parallel_for pool n f] runs [f i] for every [i] in [[0, n)], in
     ascending order within each chunk.  [f] must only write to state
     disjoint across indices. *)
@@ -120,6 +134,7 @@ val parallel_for : ?chunk:int -> ?min_size:int -> t -> int -> (int -> unit) -> u
 val map_reduce :
   ?chunk:int ->
   ?min_size:int ->
+  ?budget:Budget.t ->
   t ->
   n:int ->
   map:(lo:int -> hi:int -> 'a) ->
@@ -131,8 +146,16 @@ val map_reduce :
     [reduce (... (reduce init p0) ...) p_last] in ascending chunk
     order — the same value for any domain count. *)
 
-val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?chunk:int -> ?budget:Budget.t -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f xs] is [Array.map f xs] with the elements
     evaluated across the pool ([chunk] defaults to 1: each element is
     one task, for coarse work like sweep points).  Output order is the
     input order. *)
+
+val worker_failures : t -> int
+(** Worker crashes contained since the pool was created: exceptions (or
+    injected faults, see {!Fault}) that escaped a worker's job.  Each is
+    also counted in the [pool.worker_failures] metric, and degrades the
+    open region (if any) to owner-only dispatch.  The join protocol
+    survives every such crash — a failed worker can never hang
+    {!with_region} or a fork/join. *)

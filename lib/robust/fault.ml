@@ -1,0 +1,4 @@
+(* The engine lives in Ttsv_parallel (the pool's workers are a probe
+   site, and numerics must see it without a dependency cycle); this
+   facade re-exports it where the robustness story is documented. *)
+include Ttsv_parallel.Fault

@@ -1,0 +1,11 @@
+(** Seeded fault injection, re-exported from {!Ttsv_parallel.Fault}.
+
+    The engine itself lives in [ttsv_parallel] so the pool and the
+    numerics kernels can host probe sites without a dependency cycle;
+    this alias puts it next to {!Robust} and {!Diagnostics}, where the
+    recovery machinery it exercises is defined.  See
+    {!Ttsv_parallel.Fault} for the [TTSV_FAULTS] spec grammar and the
+    probe-site list, and {!Robust.solve} for the containment contract
+    the chaos suite asserts. *)
+
+include module type of Ttsv_parallel.Fault

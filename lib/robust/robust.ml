@@ -22,7 +22,10 @@ let m_rung =
     (fun r -> (r, Obs_metrics.Counter.make ("precond.rung." ^ Diagnostics.rung_name r)))
     all_rungs
 
-type reason = Invalid_input of string list | Exhausted
+module Budget = Ttsv_parallel.Budget
+module Fault = Ttsv_parallel.Fault
+
+type reason = Invalid_input of string list | Exhausted | Deadline_exceeded
 
 type failure = {
   reason : reason;
@@ -37,6 +40,8 @@ let pp_reason ppf = function
   | Invalid_input problems ->
     Format.fprintf ppf "invalid input: %s" (String.concat "; " problems)
   | Exhausted -> Format.fprintf ppf "every solver rung failed"
+  | Deadline_exceeded ->
+    Format.fprintf ppf "budget expired before the ladder converged (best iterate attached)"
 
 let pp_failure ppf f =
   Format.fprintf ppf "@[<v>solve failed: %a@,%a@]" pp_reason f.reason Diagnostics.pp
@@ -108,7 +113,7 @@ let solve_direct a b =
     match Dense.solve d b with x -> Ok x | exception Dense.Singular -> Error Diagnostics.Singular)
 
 let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor
-    ?pool ?(rungs = default_rungs) a b =
+    ?pool ?(rungs = default_rungs) ?budget a b =
   let start = Unix.gettimeofday () in
   match preflight a b with
   | _ :: _ as problems ->
@@ -162,10 +167,10 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
        construction itself failed (IC(0) pivot breakdown at every shift,
        zero diagonal for SSOR): the rung is recorded as Skipped and the
        ladder demotes without spending a single iteration. *)
-    let precond_for rung =
+    let precond_for ?budget rung =
       match rung with
       | Diagnostics.Cg_ic0 -> (
-        match Precond.ic0 a with
+        match Precond.ic0 ?budget a with
         | Ok m -> Ok (Some m)
         | Error why -> Error ("ic0: " ^ why))
       | Diagnostics.Cg_ssor -> (
@@ -175,9 +180,9 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
       | Diagnostics.Cg | Diagnostics.Bicgstab -> Ok None
       | Diagnostics.Direct -> assert false
     in
-    let run_iterative rung =
+    let run_iterative ?budget rung =
       let t0 = Unix.gettimeofday () in
-      match precond_for rung with
+      match precond_for ?budget rung with
       | Error why ->
         note
           {
@@ -196,7 +201,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         in
         let r =
           solver ~tol ?max_iter ?x0:!best ?on_iterate ?stagnation_window ?divergence_factor
-            ?pool ?precond a b
+            ?pool ?precond ?budget a b
         in
         total_iters := !total_iters + r.Iterative.iterations;
         trace := r.Iterative.trace;
@@ -253,27 +258,75 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             best_residual = !best_res;
           }
       | rung :: rest -> (
-        let solution =
-          Obs_span.with_
-            ~name:("robust." ^ Diagnostics.rung_name rung)
-            (fun () ->
-              match rung with
-              | Diagnostics.Direct -> run_direct ()
-              | _ -> run_iterative rung)
-        in
-        match solution with
-        | Some x ->
-          let res = (List.hd !attempts).Diagnostics.residual in
-          Ok (x, finish (Some rung) res)
-        | None -> climb rest)
+        match Option.bind budget Budget.check with
+        | Some _ ->
+          (* the global budget is spent: stop the ladder here — before
+             the (non-interruptible) direct rung in particular — and
+             surface the best iterate reached so far *)
+          Error
+            {
+              reason = Deadline_exceeded;
+              diagnostics = finish None !best_res;
+              best = !best;
+              best_residual = !best_res;
+            }
+        | None ->
+          (* each rung gets an even share of the remaining wall-clock:
+             a stagnating IC(0) attempt cannot starve the cheaper rungs
+             (or the direct fallback) of their chance *)
+          let rung_budget =
+            Option.map (fun b -> Budget.split b ~ways:(1 + List.length rest)) budget
+          in
+          let t0 = Unix.gettimeofday () in
+          let solution =
+            match
+              Obs_span.with_
+                ~name:("robust." ^ Diagnostics.rung_name rung)
+                (fun () ->
+                  match rung with
+                  | Diagnostics.Direct -> run_direct ()
+                  | _ -> run_iterative ?budget:rung_budget rung)
+            with
+            | s -> s
+            | exception Fault.Injected site ->
+              (* an injected fault escaped to the ladder (possible for
+                 owner-side probes): contain it as a skipped attempt and
+                 demote, upholding the no-uncaught-exception contract *)
+              note
+                {
+                  Diagnostics.rung;
+                  outcome = Diagnostics.Skipped ("injected fault at " ^ site);
+                  iterations = 0;
+                  residual = Float.nan;
+                  wall_time = Unix.gettimeofday () -. t0;
+                };
+              None
+            | exception Budget.Expired v ->
+              note
+                {
+                  Diagnostics.rung;
+                  outcome =
+                    Diagnostics.Skipped
+                      (Format.asprintf "budget expired (%a)" Budget.pp_verdict v);
+                  iterations = 0;
+                  residual = Float.nan;
+                  wall_time = Unix.gettimeofday () -. t0;
+                };
+              None
+          in
+          match solution with
+          | Some x ->
+            let res = (List.hd !attempts).Diagnostics.residual in
+            Ok (x, finish (Some rung) res)
+          | None -> climb rest)
     in
     climb rungs
 
 let solve_exn ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool
-    ?rungs a b =
+    ?rungs ?budget a b =
   match
     solve ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool ?rungs
-      a b
+      ?budget a b
   with
   | Ok r -> r
   | Error f -> raise (Solve_failed f)

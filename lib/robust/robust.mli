@@ -21,6 +21,11 @@ type reason =
       (** the system was rejected before any rung ran (each entry is one
           human-readable problem) *)
   | Exhausted  (** every rung was attempted and none produced a solution *)
+  | Deadline_exceeded
+      (** the {!Ttsv_parallel.Budget} expired (deadline or work cap)
+          before any rung converged — a {e partial} result: [best]
+          carries the least-bad iterate reached and the diagnostics
+          record how far each rung got *)
 
 type failure = {
   reason : reason;
@@ -49,6 +54,7 @@ val solve :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->
   (Ttsv_numerics.Vec.t * Diagnostics.t, failure) result
@@ -66,7 +72,23 @@ val solve :
     chunk-deterministic, so pooled and sequential climbs take identical
     paths through the ladder.  Matrices of order beyond
     a few thousand with a wide band skip the dense fallback rather than
-    allocating O(n²). *)
+    allocating O(n²).
+
+    [budget], when given, bounds the whole climb: the global budget is
+    checked before every rung (an expired one stops the ladder with
+    {!Deadline_exceeded} — before the non-interruptible direct rung in
+    particular — carrying the best iterate so far), and each rung runs
+    under an even {!Ttsv_parallel.Budget.split} of the remaining
+    wall-clock so one stagnating rung cannot starve the rest.  The
+    overshoot past the deadline is bounded by one Krylov iteration plus
+    one residual recompute.
+
+    Under an armed {!Ttsv_parallel.Fault} engine the contract tightens
+    rather than loosens: injected matvec NaNs surface as
+    [Non_finite]/demotion, injected preconditioner failures as
+    [Skipped] attempts, and a [Fault.Injected] exception reaching the
+    ladder is contained as a [Skipped] attempt — [solve] never leaks an
+    uncaught exception. *)
 
 val solve_exn :
   ?tol:float ->
@@ -77,6 +99,7 @@ val solve_exn :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
+  ?budget:Ttsv_parallel.Budget.t ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->
   Ttsv_numerics.Vec.t * Diagnostics.t

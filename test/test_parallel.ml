@@ -404,4 +404,58 @@ let sweep_tests =
           (out.Allocation.iterations <= greedy.Allocation.iterations));
   ]
 
-let suite = ("parallel", pool_tests @ kernel_tests @ fem_tests @ sweep_tests)
+module Budget = Ttsv_parallel.Budget
+
+let budget_tests =
+  [
+    test "an expired budget aborts for_chunks with Expired on every path" (fun () ->
+        let spent = Budget.make ~max_work:0 () in
+        let attempt pool n =
+          match
+            Pool.for_chunks ~chunk:8 ~min_size:2 ~budget:spent pool n (fun ~lo:_ ~hi:_ -> ())
+          with
+          | () -> Alcotest.fail "expected Budget.Expired"
+          | exception Budget.Expired Budget.Work_exhausted -> ()
+          | exception Budget.Expired Budget.Deadline_exceeded ->
+            Alcotest.fail "work cap must win over the clock"
+        in
+        attempt Pool.seq 100 (* sequential fallback *);
+        Pool.with_pool ~domains:4 @@ fun pool ->
+        attempt pool 5000 (* fork/join path *);
+        (* and the pool is unharmed afterwards *)
+        let counts = Array.make 100 0 in
+        Pool.parallel_for ~chunk:8 ~min_size:2 pool 100 (fun i -> counts.(i) <- 1);
+        Alcotest.(check bool) "usable after expiry" true (Array.for_all (( = ) 1) counts));
+    test "map_array under an expired budget raises Expired" (fun () ->
+        Pool.with_pool ~domains:2 @@ fun pool ->
+        let spent = Budget.make ~max_work:0 () in
+        match Pool.map_array ~budget:spent pool (fun i -> i * i) (Array.init 64 Fun.id) with
+        | _ -> Alcotest.fail "expected Budget.Expired"
+        | exception Budget.Expired _ -> ());
+    test "budget expiry mid-sweep is prompt and loses no completed chunk" (fun () ->
+        (* the budget is polled once per chunk before its body runs: with
+           the work cap ticked inside the body, the sequential walk does
+           exactly [cap] chunks and then raises *)
+        let cap = 3 in
+        let b = Budget.make ~max_work:cap () in
+        let ran = ref 0 in
+        (match
+           Pool.for_chunks ~chunk:1 ~min_size:2 ~budget:b Pool.seq 10 (fun ~lo:_ ~hi:_ ->
+               incr ran;
+               Budget.tick b)
+         with
+        | () -> Alcotest.fail "expected Budget.Expired"
+        | exception Budget.Expired _ -> ());
+        Alcotest.(check int) "chunks before expiry" cap !ran);
+    test "a generous budget leaves pooled results untouched" (fun () ->
+        Pool.with_pool ~domains:4 @@ fun pool ->
+        let xs = Array.init 37 Fun.id in
+        let budget = Budget.make ~deadline_s:3600. ~max_work:max_int () in
+        Alcotest.(check (array int))
+          "same squares"
+          (Array.map (fun i -> i * i) xs)
+          (Pool.map_array ~budget pool (fun i -> i * i) xs));
+  ]
+
+let suite =
+  ("parallel", pool_tests @ kernel_tests @ fem_tests @ sweep_tests @ budget_tests)

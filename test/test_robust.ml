@@ -123,7 +123,8 @@ let ladder_tests =
           | Robust.Invalid_input problems ->
             Alcotest.(check bool) "mentions the rhs" true
               (List.exists (fun p -> String.length p > 0 && String.sub p 0 3 = "rhs") problems)
-          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input");
+          | Robust.Exhausted | Robust.Deadline_exceeded ->
+            Alcotest.fail "expected Invalid_input");
           Alcotest.(check int) "no rung ran" 0 (List.length f.Robust.diagnostics.Diagnostics.attempts);
           Alcotest.(check int) "no iterations spent" 0
             f.Robust.diagnostics.Diagnostics.iterations);
@@ -136,7 +137,8 @@ let ladder_tests =
         | Error f -> (
           match f.Robust.reason with
           | Robust.Invalid_input _ -> ()
-          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+          | Robust.Exhausted | Robust.Deadline_exceeded ->
+            Alcotest.fail "expected Invalid_input"));
     test "dimension mismatch is a typed failure, not an exception" (fun () ->
         let m = Sparse.of_dense (Dense.identity 3) in
         match Robust.solve m [| 1.; 2. |] with
@@ -145,7 +147,8 @@ let ladder_tests =
           match f.Robust.reason with
           | Robust.Invalid_input problems ->
             Alcotest.(check bool) "at least one problem" true (problems <> [])
-          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+          | Robust.Exhausted | Robust.Deadline_exceeded ->
+            Alcotest.fail "expected Invalid_input"));
     test "a stagnating iterative-only ladder aborts far below the budget" (fun () ->
         (* unreachable tolerance + no direct rung: both Krylov rungs hit
            the stagnation guard, and the whole ladder spends a couple of
@@ -243,7 +246,8 @@ let fem_failure_tests =
           | Robust.Invalid_input problems ->
             Alcotest.(check bool) "points at the bad cell" true
               (List.exists (fun s -> contains s "cell 0") problems)
-          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+          | Robust.Exhausted | Robust.Deadline_exceeded ->
+            Alcotest.fail "expected Invalid_input"));
     test "NaN-poisoned source is rejected up front by the FEM solver" (fun () ->
         let p = Problem.of_stack (Params.block ()) in
         p.Problem.source.(0) <- Float.neg_infinity;
@@ -252,7 +256,8 @@ let fem_failure_tests =
         | Error f -> (
           match f.Robust.reason with
           | Robust.Invalid_input _ -> ()
-          | Robust.Exhausted -> Alcotest.fail "expected Invalid_input"));
+          | Robust.Exhausted | Robust.Deadline_exceeded ->
+            Alcotest.fail "expected Invalid_input"));
     test "a healthy FV solve reports its diagnostics" (fun () ->
         let p = Problem.of_stack (Params.block ()) in
         match Solver.try_solve p with
