@@ -9,11 +9,13 @@
      dune exec bench/main.exe -- micro    # microbenchmarks only
      dune exec bench/main.exe -- parallel # pool scaling, writes BENCH_parallel.json
      dune exec bench/main.exe -- precond  # preconditioner ladder, BENCH_precond.json
+     dune exec bench/main.exe -- multigrid # mesh-independence sweep, BENCH_multigrid.json
    Artefacts: fig4 fig5 fig6 fig7 table1 case ablation convergence shape
    sensitivity nplanes variation nonlinear fillers micro parallel precond
+   multigrid
 
-   TTSV_BENCH_SMALL=1 shrinks the precond bench to the resolution-1 2-D
-   grid and 1/2 domains — the CI perf-smoke configuration. *)
+   TTSV_BENCH_SMALL=1 shrinks the precond and multigrid benches to the
+   small 2-D grids (and 1/2 domains) — the CI perf-smoke configuration. *)
 
 module E = Ttsv_experiments
 module Params = Ttsv_core.Params
@@ -355,6 +357,137 @@ let run_precond () =
     (fun () -> output_string oc (json_of_precond_results results));
   Format.fprintf ppf "@.wrote %s@." precond_json_path
 
+(* --------------------------------------------------------------- multigrid *)
+
+(* Mesh-independence evidence for the multigrid rung: CG iteration
+   counts under the mg and ic0 preconditioners across a resolution
+   sweep of the 2-D unit cell and the 3-D chip stack.  An incomplete
+   factorisation's iteration count grows with resolution; the V-cycle's
+   must stay near-constant — [obs_check multigrid] gates on the ratio
+   between the finest and coarsest sweep entries.  Iteration counts are
+   deterministic, so the gate is noise-free; wall times are
+   informational.  Writes BENCH_multigrid.json. *)
+let multigrid_json_path = "BENCH_multigrid.json"
+
+(* the finest-over-coarsest mg iteration growth the gate tolerates;
+   recorded in the JSON so the check and the artefact can't drift *)
+let multigrid_growth_limit = 1.5
+
+let multigrid_preconds =
+  [ ("mg", [ Diagnostics.Cg_mg ]); ("ic0", [ Diagnostics.Cg_ic0 ]) ]
+
+type mg_point = { cells : int; by_rung : (string * (int * float)) list }
+type mg_case = { m_artefact : string; points : (int * mg_point) list }
+
+let multigrid_cases ~small () =
+  let stack = Params.fig5_stack (Units.um 1.) in
+  ( "solve_fv_fig5",
+    (* the small sweep starts at resolution 2: resolution 1 sits below
+       the asymptotic iteration plateau (15 vs 19-23), so including it
+       reads as growth when the finer meshes are actually flat *)
+    (if small then [ 2; 3; 4 ] else [ 3; 4; 5; 6 ]),
+    fun res rungs ->
+      let p = Problem.of_stack ~resolution:res stack in
+      let r = Solver.solve ~rungs p in
+      (Array.length r.Solver.temps, r.Solver.iterations) )
+  ::
+  (if small then []
+   else
+     [
+       ( "solve3_fig5",
+         [ 1; 2 ],
+         fun res rungs ->
+           let p = Problem3.of_stack ~resolution:res stack in
+           let r = Solver3.solve ~rungs p in
+           (Array.length r.Solver3.temps, r.Solver3.iterations) );
+     ])
+
+let json_of_multigrid_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"multigrid\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"growth_limit\": %.2f,\n" multigrid_growth_limit);
+  Buffer.add_string buf "  \"artefacts\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\n      \"name\": \"%s\",\n      \"runs\": [\n" r.m_artefact);
+      List.iteri
+        (fun j (resolution, { cells; by_rung }) ->
+          let rungs_json =
+            String.concat ", "
+              (List.map
+                 (fun (pname, (iters, wall_s)) ->
+                   Printf.sprintf
+                     "{ \"name\": \"%s\", \"iterations\": %d, \"wall_s\": %.6f }" pname
+                     iters wall_s)
+                 by_rung)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"resolution\": %d, \"cells\": %d, \"preconds\": [%s] }%s\n"
+               resolution cells rungs_json
+               (if j = List.length r.points - 1 then "" else ",")))
+        r.points;
+      Buffer.add_string buf "      ]\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run_multigrid () =
+  let small = precond_small () in
+  E.Report.heading ppf
+    (if small then "Multigrid mesh independence (small CI sweep)"
+     else "Multigrid mesh independence (iterations vs resolution)");
+  ignore (E.Reference.block_coefficients ());
+  let results =
+    List.map
+      (fun (artefact, resolutions, f) ->
+        Format.fprintf ppf "@.%s:@." artefact;
+        let points =
+          List.map
+            (fun res ->
+              let ncells = ref 0 in
+              let by_rung =
+                List.map
+                  (fun (pname, rungs) ->
+                    let (c, iters), wall_s = time (fun () -> f res rungs) in
+                    ncells := c;
+                    (pname, (iters, wall_s)))
+                  multigrid_preconds
+              in
+              let cells = !ncells in
+              Format.fprintf ppf "  resolution=%d  cells=%-8d %s@." res cells
+                (String.concat "  "
+                   (List.map
+                      (fun (pname, (iters, wall_s)) ->
+                        Printf.sprintf "%s %4d iters %7.3f s" pname iters wall_s)
+                      by_rung));
+              (res, { cells; by_rung }))
+            resolutions
+        in
+        (match (points, List.rev points) with
+        | ( (_, { by_rung = first; _ }) :: _,
+            (_, { by_rung = last; _ }) :: _ )
+          when List.length points > 1 -> (
+          match (List.assoc_opt "mg" first, List.assoc_opt "mg" last) with
+          | Some (i0, _), Some (i1, _) when i0 > 0 ->
+            Format.fprintf ppf "  mg growth coarsest -> finest: %d -> %d (%.2fx)@." i0 i1
+              (float_of_int i1 /. float_of_int i0)
+          | _ -> ())
+        | _ -> ());
+        { m_artefact = artefact; points })
+      (multigrid_cases ~small ())
+  in
+  let oc = open_out multigrid_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_of_multigrid_results results));
+  Format.fprintf ppf "@.wrote %s@." multigrid_json_path
+
 let artefacts : (string * (unit -> unit)) list =
   [
     ("fig4", fun () -> E.Fig4.print ppf ());
@@ -374,6 +507,7 @@ let artefacts : (string * (unit -> unit)) list =
     ("micro", run_micro);
     ("parallel", run_parallel);
     ("precond", run_precond);
+    ("multigrid", run_multigrid);
   ]
 
 let () =

@@ -6,6 +6,7 @@
      obs_check validate TRACE.jsonl [MIN_DEPTH]
      obs_check bench BENCH_parallel.json
      obs_check precond BENCH_precond.json
+     obs_check multigrid BENCH_multigrid.json
      obs_check idle TRACE.jsonl MAX_SECONDS
 
    [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
@@ -15,6 +16,9 @@
    failure.  [precond] is a CI gate: it exits 1 unless IC(0)-CG needs
    strictly fewer than half the Jacobi-CG iterations on every artefact —
    iteration counts are deterministic, so this check is noise-free.
+   [multigrid] is the mesh-independence gate: it exits 1 when the mg-CG
+   iteration count at the finest resolution of any sweep exceeds the
+   file's growth_limit (default 1.5x) times the coarsest resolution's.
    [idle] is the regression gate on the pool's spin-then-park behaviour:
    it reads the [pool.idle_seconds] gauge out of the trace's summary
    lines and exits 1 when the workers burned more than MAX_SECONDS
@@ -274,6 +278,80 @@ let precond path =
         (float_of_int jacobi /. float_of_int ic0))
     artefacts
 
+(* --------------------------------------------------------------- multigrid *)
+
+(* CI gate on BENCH_multigrid.json: the V-cycle preconditioner's claim
+   is mesh independence, so across each artefact's resolution sweep the
+   mg iteration count at the finest grid must stay within
+   [growth_limit] (the file's own, 1.5 by default) times the coarsest
+   grid's.  Iteration counts are deterministic, so the gate is
+   noise-free.  A sweep with a single resolution (the small CI 3-D
+   case, when present) has no growth to measure and passes. *)
+let multigrid path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let j = match Json.parse text with Ok j -> j | Error e -> fail "%s: %s" path e in
+  let limit =
+    match Option.bind (field "growth_limit" j) Json.to_float_opt with
+    | Some l when l > 0. -> l
+    | Some l -> fail "%s: non-positive growth_limit %g" path l
+    | None -> 1.5
+  in
+  let artefacts =
+    match field "artefacts" j with
+    | Some (Json.List l) -> l
+    | _ -> fail "%s: no \"artefacts\" array" path
+  in
+  if artefacts = [] then fail "%s: empty artefact list" path;
+  List.iter
+    (fun art ->
+      let name =
+        match Option.bind (field "name" art) Json.to_string_opt with
+        | Some n -> n
+        | None -> fail "%s: artefact without a name" path
+      in
+      let runs =
+        match field "runs" art with
+        | Some (Json.List (_ :: _ as l)) -> l
+        | _ -> fail "%s: artefact %s has no runs" path name
+      in
+      let mg_iters run =
+        let res =
+          match Option.bind (field "resolution" run) Json.to_int_opt with
+          | Some r -> r
+          | None -> fail "%s: artefact %s: run without a resolution" path name
+        in
+        match field "preconds" run with
+        | Some (Json.List ps) -> (
+          match
+            List.find_opt
+              (fun p -> Option.bind (field "name" p) Json.to_string_opt = Some "mg")
+              ps
+          with
+          | Some p -> (
+            match Option.bind (field "iterations" p) Json.to_int_opt with
+            | Some i when i > 0 -> (res, i)
+            | Some i ->
+              fail "%s: artefact %s resolution %d: non-positive mg iterations %d" path
+                name res i
+            | None ->
+              fail "%s: artefact %s resolution %d: mg entry without iterations" path name
+                res)
+          | None ->
+            fail "%s: artefact %s resolution %d: no mg preconditioner entry" path name res)
+        | _ -> fail "%s: artefact %s resolution %d: no \"preconds\" array" path name res
+      in
+      let counts = List.map mg_iters runs in
+      let res0, i0 = List.hd counts and res1, i1 = List.hd (List.rev counts) in
+      let growth = float_of_int i1 /. float_of_int i0 in
+      if growth > limit then
+        fail
+          "%s: artefact %s: mg iterations grew %d (resolution %d) -> %d (resolution %d), \
+           %.2fx > %.2fx — the V-cycle has lost mesh independence"
+          path name i0 res0 i1 res1 growth limit;
+      Printf.printf "%s: %s ok — mg iterations %d -> %d across resolutions %d..%d (%.2fx <= %.2fx)\n"
+        path name i0 i1 res0 res1 growth limit)
+    artefacts
+
 (* -------------------------------------------------------------------- idle *)
 
 (* the workers' spin-stretch gauge, summed across summary snapshots (a
@@ -308,7 +386,7 @@ let idle path max_seconds =
 let usage () =
   fail
     "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE | obs_check \
-     precond FILE | obs_check idle TRACE.jsonl MAX_SECONDS"
+     precond FILE | obs_check multigrid FILE | obs_check idle TRACE.jsonl MAX_SECONDS"
 
 let () =
   match Array.to_list Sys.argv with
@@ -319,6 +397,7 @@ let () =
     | None -> usage ())
   | [ _; "bench"; path ] -> bench path
   | [ _; "precond"; path ] -> precond path
+  | [ _; "multigrid"; path ] -> multigrid path
   | [ _; "idle"; path; budget ] -> (
     match float_of_string_opt budget with
     | Some b when b >= 0. -> idle path b

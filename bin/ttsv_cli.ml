@@ -188,6 +188,7 @@ let precond_t =
   let kinds =
     [
       ("auto", None);
+      ("mg", Some [ Diagnostics.Cg_mg; Diagnostics.Direct ]);
       ("ic0", Some [ Diagnostics.Cg_ic0; Diagnostics.Direct ]);
       ("ssor", Some [ Diagnostics.Cg_ssor; Diagnostics.Direct ]);
       ("jacobi", Some [ Diagnostics.Cg; Diagnostics.Bicgstab; Diagnostics.Direct ]);
@@ -198,9 +199,10 @@ let precond_t =
     & opt (enum kinds) None
     & info [ "precond" ] ~docv:"KIND"
         ~doc:
-          "preconditioner for the FV reference solve: $(b,auto) (the full IC(0) -> SSOR -> \
-           Jacobi escalation ladder, the default), or pin $(b,ic0), $(b,ssor) or \
-           $(b,jacobi); combine with $(b,--solver-report) to see the iteration counts")
+          "preconditioner for the FV reference solve: $(b,auto) (the full multigrid -> IC(0) \
+           -> SSOR -> Jacobi escalation ladder, the default), or pin $(b,mg), $(b,ic0), \
+           $(b,ssor) or $(b,jacobi); combine with $(b,--solver-report) to see the iteration \
+           counts")
 
 let solver_report_t =
   Arg.(

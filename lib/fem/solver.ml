@@ -155,9 +155,13 @@ let try_solve ?(tol = 1e-10) ?max_iter ?bottom_h ?on_iterate ?pool ?rungs ?budge
     let matrix = assemble ?pool ?bottom_h p in
     let n = Sparse.rows matrix in
     let max_iter = match max_iter with Some m -> m | None -> Stdlib.max 2000 (40 * n) in
+    (* declare the unknowns' tensor-grid layout (Grid.index: ir fastest)
+       so the ladder can top itself with the geometric multigrid rung *)
+    let g = p.Problem.grid in
+    let shape = [| Grid.nr g; Grid.nz g |] in
     match
       Obs_span.with_ ~name:"solver.solve" (fun () ->
-          Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs ?budget matrix
+          Robust.solve ~tol ~max_iter ?on_iterate ?pool ?rungs ~shape ?budget matrix
             p.Problem.source)
     with
     | Error f -> Error f
@@ -212,7 +216,8 @@ let solve_transient ?(tol = 1e-10) ?bottom_h ?(power = fun _ -> 1.) ?pool ~mater
       Array.init n (fun i -> (p.Problem.source.(i) *. scale) +. (cdt.(i) *. !temps.(i)))
     in
     let x, d =
-      Robust.solve_exn ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps ?pool system rhs
+      Robust.solve_exn ~tol ~max_iter:(Stdlib.max 2000 (40 * n)) ~x0:!temps ?pool
+        ~shape:[| nr; Grid.nz g |] system rhs
     in
     temps := x;
     total_iters := !total_iters + d.Diagnostics.iterations;

@@ -8,7 +8,7 @@ module Fault = Ttsv_parallel.Fault
 let injected () = Fault.fire "precond"
 let injected_error = "injected construction fault"
 
-type kind = Jacobi | Ssor of float | Ic0 of float
+type kind = Jacobi | Ssor of float | Ic0 of float | Mg of int
 
 type t = {
   kind : kind;
@@ -16,10 +16,13 @@ type t = {
   apply_fn : ?pool:Pool.t -> Vec.t -> Vec.t;
 }
 
-let name t = match t.kind with Jacobi -> "jacobi" | Ssor _ -> "ssor" | Ic0 _ -> "ic0"
+let name t =
+  match t.kind with Jacobi -> "jacobi" | Ssor _ -> "ssor" | Ic0 _ -> "ic0" | Mg _ -> "mg"
+
 let dim t = t.dim
 let ic0_shift t = match t.kind with Ic0 s -> Some s | _ -> None
 let ssor_omega t = match t.kind with Ssor w -> Some w | _ -> None
+let mg_levels t = match t.kind with Mg l -> Some l | _ -> None
 
 let apply ?pool t r =
   if Array.length r <> t.dim then
@@ -234,3 +237,20 @@ let ic0 ?(shifts = default_shifts) ?budget a =
         Ok { kind = Ic0 shift; dim = n; apply_fn }
     end
   end
+
+(* ---------------------------------------------------------- multigrid *)
+
+(* One symmetric V-cycle per application.  The hierarchy setup can fail
+   (shape mismatch, zero diagonal, singular coarse operator, expired
+   budget) and doubles as the "precond" chaos site, exactly like the
+   other fallible constructors; the budget is captured by the hierarchy
+   and keeps being polled inside every cycle, so an expiry mid-V-cycle
+   surfaces as [Budget.Expired] from [apply]. *)
+let mg ?pool ?budget ~shape a =
+  if injected () then Error injected_error
+  else
+    match Multigrid.build ?pool ?budget ~shape a with
+    | Error _ as e -> e
+    | Ok hierarchy ->
+      let apply_fn ?pool r = Multigrid.cycle ?pool hierarchy r in
+      Ok { kind = Mg (Multigrid.num_levels hierarchy); dim = Sparse.rows a; apply_fn }

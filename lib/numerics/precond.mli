@@ -1,9 +1,16 @@
 (** Pluggable SPD preconditioners for the Krylov solvers.
 
-    One abstract interface, three constructions, in decreasing order of
+    One abstract interface, four constructions, in decreasing order of
     strength on the library's finite-volume conductance matrices:
 
-    - {!ic0} — incomplete Cholesky with zero fill.  Strongest: on the
+    - {!mg} — one symmetric geometric-multigrid V-cycle per application
+      (see {!Multigrid}).  Strongest on the structured tensor grids and
+      the only rung whose iteration counts stay near-constant as the
+      grid refines; needs the grid [shape], so it is only available
+      where one is known.  Every kernel it runs is embarrassingly
+      parallel, unlike the triangular sweeps below.
+    - {!ic0} — incomplete Cholesky with zero fill.  Strongest
+      shape-oblivious option: on the
       fig5/Table I grids it cuts CG iteration counts by roughly an order
       of magnitude over Jacobi.  Construction can {e break down} (a
       non-positive pivot) on SPD matrices that are not H-matrices; the
@@ -27,7 +34,7 @@
 type t
 
 val name : t -> string
-(** ["ic0"], ["ssor"] or ["jacobi"]. *)
+(** ["mg"], ["ic0"], ["ssor"] or ["jacobi"]. *)
 
 val dim : t -> int
 (** The order of the matrix the preconditioner was built from. *)
@@ -78,4 +85,31 @@ val ic0 :
 val ic0_shift : t -> float option
 (** The diagonal shift the successful IC(0) factorization used ([0.]
     when the unshifted factorization went through); [None] for other
+    kinds. *)
+
+val mg :
+  ?pool:Ttsv_parallel.Pool.t ->
+  ?budget:Ttsv_parallel.Budget.t ->
+  shape:int array ->
+  Sparse.t ->
+  (t, string) result
+(** Geometric-multigrid preconditioner: each application is one
+    symmetric V(ν,ν) cycle of {!Multigrid.cycle} on the hierarchy built
+    by {!Multigrid.build} (Chebyshev-accelerated line smoothing,
+    Galerkin coarse operators, semicoarsening on anisotropic grids), so
+    the preconditioner is itself symmetric positive definite and safe
+    inside CG.  [shape] gives the
+    tensor-grid extents, first dimension fastest-varying — [[|nr; nz|]]
+    for the 2-D unit cell, [[|nx; ny; nz|]] for the 3-D stack.
+
+    [Error] on a shape/matrix mismatch or any hierarchy failure, and the
+    constructor is a ["precond"] chaos site like {!ic0}/{!ssor}.
+    [budget] is polled during setup {e and} captured into the returned
+    preconditioner: an expiry mid-V-cycle raises
+    {!Ttsv_parallel.Budget.Expired} from {!apply}, which the Robust
+    ladder converts to a typed deadline failure with the best iterate.
+    Applications are bitwise deterministic across pool sizes. *)
+
+val mg_levels : t -> int option
+(** Number of levels in the multigrid hierarchy; [None] for other
     kinds. *)

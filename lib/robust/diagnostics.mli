@@ -8,7 +8,11 @@
     {!Ttsv_fem.Solver3.solve} and the CLI's [--solver-report] flag. *)
 
 type rung =
-  | Cg_ic0  (** IC(0)-preconditioned conjugate gradients (strongest) *)
+  | Cg_mg
+      (** geometric-multigrid-preconditioned conjugate gradients
+          (strongest; needs a structured-grid shape, so it only joins
+          the ladder when one is known) *)
+  | Cg_ic0  (** IC(0)-preconditioned conjugate gradients (strongest shape-oblivious rung) *)
   | Cg_ssor  (** SSOR-preconditioned conjugate gradients *)
   | Cg  (** Jacobi-preconditioned conjugate gradients *)
   | Bicgstab  (** Jacobi-preconditioned BiCGStab *)

@@ -14,8 +14,8 @@ let m_solve_wall = Obs_metrics.Histogram.make "solve.wall_seconds"
 (* one counter per rung, bumped when that rung produces the answer: the
    fleet-level view of which preconditioner actually carries the load *)
 let all_rungs =
-  [ Diagnostics.Cg_ic0; Diagnostics.Cg_ssor; Diagnostics.Cg; Diagnostics.Bicgstab;
-    Diagnostics.Direct ]
+  [ Diagnostics.Cg_mg; Diagnostics.Cg_ic0; Diagnostics.Cg_ssor; Diagnostics.Cg;
+    Diagnostics.Bicgstab; Diagnostics.Direct ]
 
 let m_rung =
   List.map
@@ -50,6 +50,10 @@ let pp_failure ppf f =
 let default_rungs =
   [ Diagnostics.Cg_ic0; Diagnostics.Cg_ssor; Diagnostics.Cg; Diagnostics.Bicgstab;
     Diagnostics.Direct ]
+
+(* the ladder used when a structured-grid [shape] is known: multigrid
+   tops it, everything below is the shape-oblivious default ladder *)
+let mg_rungs = Diagnostics.Cg_mg :: default_rungs
 
 (* Direct solves are the last resort: accept them at a looser floor than
    the iterative target, since there is nothing left to escalate to and an
@@ -113,7 +117,17 @@ let solve_direct a b =
     match Dense.solve d b with x -> Ok x | exception Dense.Singular -> Error Diagnostics.Singular)
 
 let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor
-    ?pool ?(rungs = default_rungs) ?budget a b =
+    ?pool ?rungs ?shape ?budget a b =
+  (* without an explicit [rungs] list the ladder adapts to what is
+     known about the system: a structured-grid [shape] promotes the
+     multigrid rung to the top, otherwise the shape-oblivious default
+     ladder runs unchanged *)
+  let rungs =
+    match (rungs, shape) with
+    | Some r, _ -> r
+    | None, Some _ -> mg_rungs
+    | None, None -> default_rungs
+  in
   let start = Unix.gettimeofday () in
   match preflight a b with
   | _ :: _ as problems ->
@@ -169,6 +183,13 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
        ladder demotes without spending a single iteration. *)
     let precond_for ?budget rung =
       match rung with
+      | Diagnostics.Cg_mg -> (
+        match shape with
+        | None -> Error "mg: no structured-grid shape"
+        | Some shape -> (
+          match Precond.mg ?pool ?budget ~shape a with
+          | Ok m -> Ok (Some m)
+          | Error why -> Error ("mg: " ^ why)))
       | Diagnostics.Cg_ic0 -> (
         match Precond.ic0 ?budget a with
         | Ok m -> Ok (Some m)
@@ -323,10 +344,10 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
     climb rungs
 
 let solve_exn ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool
-    ?rungs ?budget a b =
+    ?rungs ?shape ?budget a b =
   match
     solve ?tol ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergence_factor ?pool ?rungs
-      ?budget a b
+      ?shape ?budget a b
   with
   | Ok r -> r
   | Error f -> raise (Solve_failed f)

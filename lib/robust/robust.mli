@@ -1,7 +1,8 @@
 (** Resilient linear solving: the escalation ladder.
 
-    [solve] climbs a ladder of solver rungs — IC(0)-preconditioned CG
-    first (strongest), demoting to SSOR-CG, then Jacobi-CG, then
+    [solve] climbs a ladder of solver rungs — geometric-multigrid CG
+    first when the structured-grid [shape] is known, then
+    IC(0)-preconditioned CG, demoting to SSOR-CG, then Jacobi-CG, then
     BiCGStab (warm-started from the best iterate so far), then a direct
     banded/dense LU fallback — until one of them produces a solution,
     and returns a {!Diagnostics.t} recording which rungs fired (the
@@ -43,7 +44,12 @@ val pp_reason : Format.formatter -> reason -> unit
 val pp_failure : Format.formatter -> failure -> unit
 
 val default_rungs : Diagnostics.rung list
-(** [[Cg_ic0; Cg_ssor; Cg; Bicgstab; Direct]]. *)
+(** [[Cg_ic0; Cg_ssor; Cg; Bicgstab; Direct]] — the ladder used when
+    neither [rungs] nor [shape] is supplied. *)
+
+val mg_rungs : Diagnostics.rung list
+(** [Cg_mg :: default_rungs] — the ladder used when a structured-grid
+    [shape] is supplied without an explicit [rungs] list. *)
 
 val solve :
   ?tol:float ->
@@ -54,12 +60,20 @@ val solve :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
+  ?shape:int array ->
   ?budget:Ttsv_parallel.Budget.t ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->
   (Ttsv_numerics.Vec.t * Diagnostics.t, failure) result
 (** [solve a b] solves [a x = b], escalating through [rungs] (default
-    {!default_rungs}).  [tol] (default [1e-10]) is the relative residual
+    {!default_rungs}, or {!mg_rungs} when [shape] is given).  [shape]
+    declares that the unknowns live on a structured tensor grid with the
+    given extents (first dimension fastest-varying; the FEM solvers pass
+    [[|nr; nz|]] / [[|nx; ny; nz|]]), which is what the geometric
+    multigrid rung needs to build its hierarchy — a [Cg_mg] rung
+    requested without a [shape] is recorded as
+    [Skipped "mg: no structured-grid shape"] and the ladder demotes at
+    zero cost.  [tol] (default [1e-10]) is the relative residual
     target; [max_iter] is the per-rung iteration budget of the iterative
     rungs (default [10 * n] each).  [on_iterate] observes every iteration
     of every iterative rung; [stagnation_window] and [divergence_factor]
@@ -99,6 +113,7 @@ val solve_exn :
   ?divergence_factor:float ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Diagnostics.rung list ->
+  ?shape:int array ->
   ?budget:Ttsv_parallel.Budget.t ->
   Ttsv_numerics.Sparse.t ->
   Ttsv_numerics.Vec.t ->

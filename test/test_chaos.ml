@@ -334,6 +334,61 @@ let containment_tests =
               d.Diagnostics.attempts
           in
           Alcotest.(check bool) "some rung skipped" true skipped);
+    test "an injected multigrid construction fault degrades to the IC(0) rung" (fun () ->
+        (* seed 0 was probed to make the first precond-site draw (the mg
+           build) fire and the second (the ic0 build) pass, so the
+           ladder's new top rung dies and the old top rung answers *)
+        let stack = Params.fig5_stack (Units.um 1.) in
+        let p = Problem.of_stack ~resolution:1 stack in
+        let a = Solver.assemble p in
+        let g = p.Problem.grid in
+        let shape = [| Ttsv_fem.Grid.nr g; Ttsv_fem.Grid.nz g |] in
+        with_spec "precond=0.5:0" @@ fun () ->
+        match Robust.solve ~shape a p.Problem.source with
+        | Error f ->
+          Alcotest.fail (Format.asprintf "ladder gave up: %a" Robust.pp_failure f)
+        | Ok (_, d) ->
+          (match d.Diagnostics.solved_by with
+          | Some Diagnostics.Cg_ic0 -> ()
+          | Some r ->
+            Alcotest.fail ("expected the ic0 rung, got " ^ Diagnostics.rung_name r)
+          | None -> Alcotest.fail "no rung recorded");
+          (match d.Diagnostics.attempts with
+          | { Diagnostics.rung = Diagnostics.Cg_mg;
+              outcome = Diagnostics.Skipped why;
+              _
+            }
+            :: _ ->
+            Alcotest.(check string)
+              "skip reason" "mg: injected construction fault" why
+          | _ -> Alcotest.fail "first attempt was not a skipped multigrid rung"));
+    test "a work budget expiring mid-V-cycle is a typed Deadline_exceeded" (fun () ->
+        (* 50 work units let the hierarchy build and a few CG+V-cycle
+           iterations complete, then the cycle's own matvec ticks
+           exhaust the budget mid-cycle: the mg rung records its best
+           iterate and the ladder's next-rung check converts the expiry
+           into the typed deadline failure carrying that iterate.
+           Disarmed: an ambient spec can skip rungs or corrupt matvecs,
+           changing where the fixed work budget runs out *)
+        with_disarmed @@ fun () ->
+        let stack = Params.fig5_stack (Units.um 1.) in
+        let p = Problem.of_stack ~resolution:1 stack in
+        let b = Budget.make ~max_work:50 () in
+        match Solver.try_solve ~budget:b p with
+        | Ok _ -> Alcotest.fail "expected a budget failure"
+        | Error f ->
+          (match f.Robust.reason with
+          | Robust.Deadline_exceeded -> ()
+          | Robust.Invalid_input _ | Robust.Exhausted ->
+            Alcotest.fail "expected Deadline_exceeded");
+          Alcotest.(check bool)
+            "the solver's work actually ticked the budget" true
+            (Budget.work_spent b >= 50);
+          (match f.Robust.best with
+          | Some x -> Alcotest.(check int) "best iterate has full dimension"
+              (Array.length p.Problem.source) (Array.length x)
+          | None -> Alcotest.fail "no best iterate carried out of the expiry");
+          ignore (Format.asprintf "%a" Robust.pp_failure f));
   ]
 
 (* ------------------------------------------------------- chaos properties *)

@@ -63,4 +63,55 @@ let golden_tests =
           (Solver.rise_at res ~r:0. ~z:(Stack.total_height stack /. 2.)));
   ]
 
-let suite = ("golden", golden_tests)
+(* Mesh independence of the multigrid rung, frozen as iteration bands:
+   CG+V-cycle counts must sit in a narrow band that does NOT widen with
+   resolution (the counts at freeze time were 23/19/20/22 for
+   resolutions 3..6).  IC(0) climbs from ~160 to ~260 over the same
+   sweep, so a band violation means the hierarchy regressed — a
+   legitimate multigrid change (smoother degree, coarsening rule) may
+   move counts within the band or force a deliberate re-freeze. *)
+let multigrid_band_tests =
+  [
+    test "2-D mg-CG iterations stay in the frozen band across resolutions" (fun () ->
+        let stack = Params.fig5_stack (Units.um 1.) in
+        let counts =
+          List.map
+            (fun resolution ->
+              let p = Problem.of_stack ~resolution stack in
+              let r = Solver.solve ~rungs:[ Ttsv_robust.Diagnostics.Cg_mg ] p in
+              (match r.Solver.diagnostics.Ttsv_robust.Diagnostics.solved_by with
+              | Some Ttsv_robust.Diagnostics.Cg_mg -> ()
+              | _ -> Alcotest.fail "solve did not come from the multigrid rung");
+              (resolution, r.Solver.iterations))
+            [ 3; 4; 5; 6 ]
+        in
+        List.iter
+          (fun (resolution, iters) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "resolution %d: %d iterations within [15, 30]" resolution
+                 iters)
+              true
+              (iters >= 15 && iters <= 30))
+          counts;
+        let iters = List.map snd counts in
+        let lo = List.fold_left Stdlib.min max_int iters in
+        let hi = List.fold_left Stdlib.max 0 iters in
+        Alcotest.(check bool)
+          (Printf.sprintf "finest/coarsest growth %d/%d within 1.5x" hi lo)
+          true
+          (float_of_int hi <= 1.5 *. float_of_int lo));
+    test "3-D mg-CG iterations stay in the frozen band" (fun () ->
+        let stack = Params.fig5_stack (Units.um 1.) in
+        let p = Ttsv_fem.Problem3.of_stack ~resolution:1 stack in
+        let r = Ttsv_fem.Solver3.solve ~rungs:[ Ttsv_robust.Diagnostics.Cg_mg ] p in
+        (match r.Ttsv_fem.Solver3.diagnostics.Ttsv_robust.Diagnostics.solved_by with
+        | Some Ttsv_robust.Diagnostics.Cg_mg -> ()
+        | _ -> Alcotest.fail "solve did not come from the multigrid rung");
+        (* frozen at 32 iterations for 156k cells; ic0 needs ~360 *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%d iterations within [20, 45]" r.Ttsv_fem.Solver3.iterations)
+          true
+          (r.Ttsv_fem.Solver3.iterations >= 20 && r.Ttsv_fem.Solver3.iterations <= 45));
+  ]
+
+let suite = ("golden", golden_tests @ multigrid_band_tests)

@@ -14,6 +14,7 @@ let all_suites =
     Test_banded.suite;
     Test_sparse.suite;
     Test_iterative.suite;
+    Test_multigrid.suite;
     Test_robust.suite;
     Test_optimize.suite;
     Test_interp_stats.suite;

@@ -10,6 +10,7 @@ module Vec = Ttsv_numerics.Vec
 module Sparse = Ttsv_numerics.Sparse
 module Iterative = Ttsv_numerics.Iterative
 module Precond = Ttsv_numerics.Precond
+module Multigrid = Ttsv_numerics.Multigrid
 module Problem = Ttsv_fem.Problem
 module Solver = Ttsv_fem.Solver
 module Problem3 = Ttsv_fem.Problem3
@@ -287,6 +288,59 @@ let fem_tests =
             ("ic0", Result.get_ok (Precond.ic0 a));
             ("ssor", Result.get_ok (Precond.ssor a));
           ]);
+    test "multigrid setup and cycles pooled match sequential bit for bit" (fun () ->
+        (* setup is sequential by construction, so a pooled build must
+           yield the identical hierarchy; the cycle kernels are
+           disjoint-slot maps and independent line solves, so a pooled
+           cycle must reproduce the sequential one exactly *)
+        let p = Problem.of_stack ~resolution:2 (Params.fig5_stack (Units.um 1.)) in
+        let a = Solver.assemble p in
+        let g = p.Problem.grid in
+        let shape = [| Ttsv_fem.Grid.nr g; Ttsv_fem.Grid.nz g |] in
+        let href = Result.get_ok (Multigrid.build ~shape a) in
+        let r = vec (Sparse.rows a) in
+        let reference = Multigrid.cycle href r in
+        List.iter
+          (fun d ->
+            Pool.with_pool ~domains:d @@ fun pool ->
+            let h = Result.get_ok (Multigrid.build ~pool ~shape a) in
+            Alcotest.(check int)
+              (Printf.sprintf "levels (domains=%d)" d)
+              (Multigrid.num_levels href) (Multigrid.num_levels h);
+            check_float_array
+              (Printf.sprintf "pooled-build cycle (domains=%d)" d)
+              reference (Multigrid.cycle h r);
+            check_float_array
+              (Printf.sprintf "pooled cycle (domains=%d)" d)
+              reference
+              (Multigrid.cycle ~pool href r))
+          domain_counts);
+    test "mg-preconditioned CG pooled matches sequential iteration-for-iteration"
+      (fun () ->
+        let p = Problem.of_stack ~resolution:2 (Params.fig5_stack (Units.um 1.)) in
+        let a = Solver.assemble p in
+        let g = p.Problem.grid in
+        let shape = [| Ttsv_fem.Grid.nr g; Ttsv_fem.Grid.nz g |] in
+        let m = Result.get_ok (Precond.mg ~shape a) in
+        let reference = Iterative.cg ~tol:1e-10 ~precond:m a p.Problem.source in
+        List.iter
+          (fun d ->
+            Pool.with_pool ~domains:d @@ fun pool ->
+            (* the preconditioner itself is rebuilt under the pool, so
+               both the setup path and the per-iteration cycles are
+               exercised pooled *)
+            let mp = Result.get_ok (Precond.mg ~pool ~shape a) in
+            let r = Iterative.cg ~tol:1e-10 ~pool ~precond:mp a p.Problem.source in
+            Alcotest.(check int)
+              (Printf.sprintf "iterations (domains=%d)" d)
+              reference.Iterative.iterations r.Iterative.iterations;
+            check_float_array
+              (Printf.sprintf "trace (domains=%d)" d)
+              reference.Iterative.trace r.Iterative.trace;
+            check_float_array
+              (Printf.sprintf "solution (domains=%d)" d)
+              reference.Iterative.solution r.Iterative.solution)
+          domain_counts);
     test "inner preconditioned CG under a sweep runs inline and matches" (fun () ->
         (* a solve launched from inside an outer Sweep worker must not
            spawn a nested pool: am_worker forces it sequential, so the
