@@ -376,7 +376,10 @@ let multigrid_growth_limit = 1.5
 let multigrid_preconds =
   [ ("mg", [ Diagnostics.Cg_mg ]); ("ic0", [ Diagnostics.Cg_ic0 ]) ]
 
-type mg_point = { cells : int; by_rung : (string * (int * float)) list }
+(* per preconditioner: (iterations, wall seconds, span phase breakdown)
+   — the phases separate mg's one-time hierarchy setup (mg.setup) from
+   the per-iteration cycling (mg.cycle, with mg.smooth nested inside) *)
+type mg_point = { cells : int; by_rung : (string * (int * float * (string * int * float) list)) list }
 type mg_case = { m_artefact : string; points : (int * mg_point) list }
 
 let multigrid_cases ~small () =
@@ -418,10 +421,20 @@ let json_of_multigrid_results results =
           let rungs_json =
             String.concat ", "
               (List.map
-                 (fun (pname, (iters, wall_s)) ->
+                 (fun (pname, (iters, wall_s, phases)) ->
+                   let phases_json =
+                     String.concat ", "
+                       (List.map
+                          (fun (name, count, sum_s) ->
+                            Printf.sprintf
+                              "{ \"name\": \"%s\", \"count\": %d, \"sum_s\": %.6f }" name
+                              count sum_s)
+                          phases)
+                   in
                    Printf.sprintf
-                     "{ \"name\": \"%s\", \"iterations\": %d, \"wall_s\": %.6f }" pname
-                     iters wall_s)
+                     "{ \"name\": \"%s\", \"iterations\": %d, \"wall_s\": %.6f, \
+                      \"phases\": [%s] }"
+                     pname iters wall_s phases_json)
                  by_rung)
           in
           Buffer.add_string buf
@@ -437,12 +450,18 @@ let json_of_multigrid_results results =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
+(* sum the seconds of one mg phase out of a harvested span breakdown *)
+let phase_sum phases name =
+  List.fold_left (fun acc (n, _, s) -> if n = name then acc +. s else acc) 0. phases
+
 let run_multigrid () =
   let small = precond_small () in
   E.Report.heading ppf
     (if small then "Multigrid mesh independence (small CI sweep)"
      else "Multigrid mesh independence (iterations vs resolution)");
   ignore (E.Reference.block_coefficients ());
+  let metrics_were_on = Ttsv_obs.Flags.metrics_on () in
+  Ttsv_obs.Config.enable_metrics ();
   let results =
     List.map
       (fun (artefact, resolutions, f) ->
@@ -454,18 +473,29 @@ let run_multigrid () =
               let by_rung =
                 List.map
                   (fun (pname, rungs) ->
+                    Obs_metrics.reset ();
                     let (c, iters), wall_s = time (fun () -> f res rungs) in
+                    let phases = phases_of_snapshot (Obs_metrics.snapshot ()) in
                     ncells := c;
-                    (pname, (iters, wall_s)))
+                    (pname, (iters, wall_s, phases)))
                   multigrid_preconds
               in
               let cells = !ncells in
               Format.fprintf ppf "  resolution=%d  cells=%-8d %s@." res cells
                 (String.concat "  "
                    (List.map
-                      (fun (pname, (iters, wall_s)) ->
+                      (fun (pname, (iters, wall_s, _)) ->
                         Printf.sprintf "%s %4d iters %7.3f s" pname iters wall_s)
                       by_rung));
+              (match List.assoc_opt "mg" by_rung with
+              | Some (_, wall_s, phases) when phases <> [] ->
+                let setup = phase_sum phases "mg.setup"
+                and cycle = phase_sum phases "mg.cycle" in
+                Format.fprintf ppf
+                  "    mg phases: setup %.3f s  cycle %.3f s  other %.3f s@." setup
+                  cycle
+                  (Float.max 0. (wall_s -. setup -. cycle))
+              | _ -> ());
               (res, { cells; by_rung }))
             resolutions
         in
@@ -474,7 +504,7 @@ let run_multigrid () =
             (_, { by_rung = last; _ }) :: _ )
           when List.length points > 1 -> (
           match (List.assoc_opt "mg" first, List.assoc_opt "mg" last) with
-          | Some (i0, _), Some (i1, _) when i0 > 0 ->
+          | Some (i0, _, _), Some (i1, _, _) when i0 > 0 ->
             Format.fprintf ppf "  mg growth coarsest -> finest: %d -> %d (%.2fx)@." i0 i1
               (float_of_int i1 /. float_of_int i0)
           | _ -> ())
@@ -482,6 +512,7 @@ let run_multigrid () =
         { m_artefact = artefact; points })
       (multigrid_cases ~small ())
   in
+  if not metrics_were_on then Ttsv_obs.Config.disable_metrics ();
   let oc = open_out multigrid_json_path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

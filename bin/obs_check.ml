@@ -8,6 +8,7 @@
      obs_check precond BENCH_precond.json
      obs_check multigrid BENCH_multigrid.json
      obs_check idle TRACE.jsonl MAX_SECONDS
+     obs_check regress BASELINE.json CURRENT.json [WALL_TOL]
 
    [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
    is given, when no span nests that deep.  [bench] only prints
@@ -22,7 +23,12 @@
    [idle] is the regression gate on the pool's spin-then-park behaviour:
    it reads the [pool.idle_seconds] gauge out of the trace's summary
    lines and exits 1 when the workers burned more than MAX_SECONDS
-   spinning — the failure mode of an idle loop that never parks. *)
+   spinning — the failure mode of an idle loop that never parks.
+   [regress] is the bench-regression gate: it compares every
+   iterations/wall_s metric in CURRENT against BASELINE (exact band on
+   iteration counts, WALL_TOL ratio tolerance — default 2.0 — on wall
+   clocks), prints the trend table, and exits 1 naming each offending
+   metric. *)
 
 module Json = Ttsv_obs.Json
 
@@ -68,6 +74,7 @@ type stats = {
   mutable spans : int;
   mutable metrics : int;
   mutable summaries : int;
+  mutable convs : int;
   mutable max_depth : int;
   mutable names : string list;
 }
@@ -121,6 +128,32 @@ let check_summary lineno j st =
   if field "data" j = None then fail "line %d: summary without \"data\"" lineno;
   st.summaries <- st.summaries + 1
 
+(* [conv] records are new in v2: a solver's residual history, with the
+   retained window in two equal-length arrays *)
+let check_conv lineno j st =
+  ignore (str_field lineno "method" j);
+  let total = int_field lineno "total" j in
+  if total < 0 then fail "line %d: negative conv total %d" lineno total;
+  let list_len what =
+    match field what j with
+    | Some (Json.List l) ->
+      List.iter
+        (fun v -> if Json.to_float_opt v = None then fail "line %d: non-numeric %s entry" lineno what)
+        l;
+      List.length l
+    | _ -> fail "line %d: conv without %S list" lineno what
+  in
+  let ni = list_len "iterations" and nr = list_len "residuals" in
+  if ni <> nr then
+    fail "line %d: conv iterations (%d) and residuals (%d) differ in length" lineno ni nr;
+  if ni > total then fail "line %d: conv retains %d entries but total is %d" lineno ni total;
+  ignore (num_field lineno "t" j);
+  (match field "span" j with
+  | None -> ()
+  | Some s ->
+    if Json.to_int_opt s = None then fail "line %d: conv \"span\" must be an integer" lineno);
+  st.convs <- st.convs + 1
+
 let validate path min_depth =
   let lines = read_lines path in
   (match lines with
@@ -132,10 +165,11 @@ let validate path min_depth =
       if str_field lineno "type" j <> "meta" then
         fail "line %d: first line must be the meta record" lineno;
       let schema = str_field lineno "schema" j in
-      if schema <> Ttsv_obs.Sink.schema then
-        fail "line %d: schema %S, expected %S" lineno schema Ttsv_obs.Sink.schema;
+      if schema <> Ttsv_obs.Sink.schema && schema <> Ttsv_obs.Sink.schema_v1 then
+        fail "line %d: schema %S, expected %S (or the older %S)" lineno schema
+          Ttsv_obs.Sink.schema Ttsv_obs.Sink.schema_v1;
       ignore (str_field lineno "clock_unit" j)));
-  let st = { spans = 0; metrics = 0; summaries = 0; max_depth = 0; names = [] } in
+  let st = { spans = 0; metrics = 0; summaries = 0; convs = 0; max_depth = 0; names = [] } in
   let ids = Hashtbl.create 64 in
   let parents = ref [] in
   List.iteri
@@ -148,6 +182,7 @@ let validate path min_depth =
           | "span" -> check_span lineno j st ids parents
           | "metric" -> check_metric lineno j st
           | "summary" -> check_summary lineno j st
+          | "conv" -> check_conv lineno j st
           | "meta" -> fail "line %d: duplicate meta record" lineno
           | other -> fail "line %d: unknown record type %S" lineno other))
     lines;
@@ -162,8 +197,9 @@ let validate path min_depth =
   | Some d when st.max_depth < d ->
     fail "%s: max span depth %d, expected nesting of at least %d" path st.max_depth d
   | Some _ | None -> ());
-  Printf.printf "%s: OK — %d spans (%d distinct names, max depth %d), %d metrics, %d summaries\n"
-    path st.spans (List.length st.names) st.max_depth st.metrics st.summaries
+  Printf.printf
+    "%s: OK — %d spans (%d distinct names, max depth %d), %d metrics, %d convs, %d summaries\n"
+    path st.spans (List.length st.names) st.max_depth st.metrics st.convs st.summaries
 
 (* ------------------------------------------------------------------- bench *)
 
@@ -383,10 +419,30 @@ let idle path max_seconds =
   Printf.printf "%s: OK — pool.idle_seconds %.6fs within the %.3fs budget\n" path !total
     max_seconds
 
+(* ----------------------------------------------------------------- regress *)
+
+let read_bench path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  match Json.parse text with Ok j -> j | Error e -> fail "%s: %s" path e
+
+let regress ?wall_tol base_path cur_path =
+  let baseline = read_bench base_path and current = read_bench cur_path in
+  let rows = Ttsv_obs.Regress.compare_benches ?wall_tol ~baseline ~current () in
+  if rows = [] then fail "%s: no iterations/wall_s metrics found to compare" base_path;
+  Format.printf "%a@." Ttsv_obs.Regress.pp_table rows;
+  match Ttsv_obs.Regress.violations rows with
+  | [] ->
+    Printf.printf "%s vs %s: OK — %d metrics within bands\n" cur_path base_path
+      (List.length rows)
+  | vs ->
+    List.iter (fun v -> prerr_endline ("obs_check: regression: " ^ v)) vs;
+    fail "%s vs %s: %d metric(s) regressed" cur_path base_path (List.length vs)
+
 let usage () =
   fail
     "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE | obs_check \
-     precond FILE | obs_check multigrid FILE | obs_check idle TRACE.jsonl MAX_SECONDS"
+     precond FILE | obs_check multigrid FILE | obs_check idle TRACE.jsonl MAX_SECONDS | \
+     obs_check regress BASELINE.json CURRENT.json [WALL_TOL]"
 
 let () =
   match Array.to_list Sys.argv with
@@ -401,5 +457,10 @@ let () =
   | [ _; "idle"; path; budget ] -> (
     match float_of_string_opt budget with
     | Some b when b >= 0. -> idle path b
+    | _ -> usage ())
+  | [ _; "regress"; base; cur ] -> regress base cur
+  | [ _; "regress"; base; cur; tol ] -> (
+    match float_of_string_opt tol with
+    | Some t when t >= 1. -> regress ~wall_tol:t base cur
     | _ -> usage ())
   | _ -> usage ()

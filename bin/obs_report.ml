@@ -1,0 +1,137 @@
+(* obs_report — render a human profile from a ttsv JSONL trace.
+
+   Default output: top-N spans by self time, the critical path, and the
+   convergence curves recorded by the solvers.  With --flame, emit only
+   flamegraph.pl collapsed stacks ("a;b;c <count>", counts in
+   microseconds of self time) so the output pipes straight into
+   flamegraph.pl.
+
+   All analysis lives in Ttsv_obs.Profile; this file is rendering. *)
+
+module Profile = Ttsv_obs.Profile
+
+let usage () =
+  prerr_endline "usage: obs_report [--top N] [--flame] TRACE.jsonl";
+  prerr_endline "  --top N   rows in the self-time table (default 15)";
+  prerr_endline "  --flame   emit collapsed stacks for flamegraph.pl instead of the report";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("obs_report: " ^ m); exit 1) fmt
+
+(* ---------------------------------------------------------------- flame *)
+
+let print_flame t =
+  List.iter
+    (fun (path, self) ->
+      (* flamegraph.pl wants integer counts; microseconds keep three
+         decades of resolution below the millisecond spans we care about *)
+      let us = int_of_float (Float.round (self *. 1e6)) in
+      if us > 0 then Printf.printf "%s %d\n" path us)
+    (Profile.collapsed t)
+
+(* --------------------------------------------------------------- report *)
+
+let duration s = if s >= 1. then Printf.sprintf "%.2fs" s else Printf.sprintf "%.2fms" (1e3 *. s)
+
+let print_top t n =
+  let rows = Profile.totals t in
+  let shown = List.filteri (fun i _ -> i < n) rows in
+  let total_self = List.fold_left (fun acc r -> acc +. r.Profile.agg_self) 0. rows in
+  Printf.printf "top %d spans by self time (of %d named):\n" (List.length shown)
+    (List.length rows);
+  Printf.printf "  %-28s %8s %12s %12s %7s\n" "name" "count" "total" "self" "self%";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-28s %8d %12s %12s %6.1f%%\n" r.Profile.agg_name r.Profile.agg_count
+        (duration r.Profile.agg_total) (duration r.Profile.agg_self)
+        (if total_self > 0. then 100. *. r.Profile.agg_self /. total_self else 0.))
+    shown;
+  print_newline ()
+
+let print_critical_path t =
+  match Profile.critical_path t with
+  | [] -> ()
+  | path ->
+    Printf.printf "critical path (longest child at every level):\n  ";
+    List.iteri
+      (fun i (s, _) ->
+        if i > 0 then print_string " > ";
+        Printf.printf "%s (%s)" s.Profile.name (duration s.Profile.dur))
+      path;
+    print_newline ();
+    print_newline ()
+
+(* log-scale sparkline over the residual curve: eight shade levels from
+   the largest to the smallest residual seen *)
+let sparkline residuals =
+  let shades = [| " "; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  let logs =
+    Array.to_list residuals
+    |> List.filter_map (fun r -> if r > 0. && Float.is_finite r then Some (Float.log10 r) else None)
+  in
+  match logs with
+  | [] -> ""
+  | l0 :: rest ->
+    let lmin = List.fold_left Float.min l0 rest and lmax = List.fold_left Float.max l0 rest in
+    let range = Float.max (lmax -. lmin) 1e-9 in
+    String.concat ""
+      (List.map
+         (fun l ->
+           let i = int_of_float (7. *. ((l -. lmin) /. range)) in
+           shades.(max 0 (min 7 i)))
+         logs)
+
+let print_convs t =
+  match t.Profile.convs with
+  | [] -> ()
+  | convs ->
+    Printf.printf "convergence curves (%d):\n" (List.length convs);
+    List.iter
+      (fun (c : Profile.conv) ->
+        let label =
+          match Option.bind c.span (Profile.span_label t) with
+          | Some path -> path
+          | None -> "(no span)"
+        in
+        let n = Array.length c.residuals in
+        let first = if n > 0 then c.residuals.(0) else Float.nan in
+        let last = if n > 0 then c.residuals.(n - 1) else Float.nan in
+        Printf.printf "  %-10s %4d recs  %9.3g -> %9.3g  |%s|\n" c.meth c.total first last
+          (sparkline c.residuals);
+        Printf.printf "             in %s\n" label)
+      convs;
+    print_newline ()
+
+let print_report path t top =
+  Printf.printf "%s: schema %s, %d spans, %d roots, %d convergence curves\n" path t.Profile.schema
+    (List.length t.Profile.spans)
+    (List.length (Profile.roots t))
+    (List.length t.Profile.convs);
+  let traced =
+    List.fold_left (fun acc (s : Profile.span) -> acc +. s.dur) 0. (Profile.roots t)
+  in
+  Printf.printf "total traced time (root spans): %s\n\n" (duration traced);
+  print_top t top;
+  print_critical_path t;
+  print_convs t
+
+(* ----------------------------------------------------------------- main *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse top flame path = function
+    | [] -> (top, flame, path)
+    | "--top" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> parse n flame path rest
+      | _ -> usage ())
+    | "--flame" :: rest -> parse top true path rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | p :: rest when path = None -> parse top flame (Some p) rest
+    | _ -> usage ()
+  in
+  let top, flame, path = parse 15 false None (List.tl args) in
+  let path = match path with Some p -> p | None -> usage () in
+  match Profile.load path with
+  | Error e -> fail "%s: %s" path e
+  | Ok t -> if flame then print_flame t else print_report path t top

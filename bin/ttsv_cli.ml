@@ -138,8 +138,10 @@ let obs_trace_t =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "write a JSONL trace of spans and metric events to $(docv) (equivalent to setting \
-           TTSV_TRACE=$(docv)); the summary snapshot is appended when the trace closes")
+          "write a ttsv.trace.v2 JSONL trace of spans, metric, and solver convergence \
+           (conv) events to $(docv) (equivalent to setting TTSV_TRACE=$(docv)); the \
+           summary snapshot is appended when the trace closes, and the file feeds \
+           obs_check validate and obs_report")
 
 let obs_metrics_t =
   Arg.(

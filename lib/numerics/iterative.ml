@@ -31,7 +31,28 @@ type result = {
   converged : bool;
   status : status;
   trace : float array;
+  conv : Ttsv_obs.History.snapshot option;
 }
+
+(* Residual history recording, active only while observability is on:
+   the disabled path allocates no ring buffer and costs one atomic read
+   (inside [Flags.enabled]) per solve, not per iteration.  When a trace
+   file is open, the snapshot is also emitted as a [conv] line tagged
+   with the enclosing span (the [robust.<rung>] span when the Robust
+   ladder is driving). *)
+let history_create meth =
+  if Ttsv_obs.Flags.enabled () then Some (Ttsv_obs.History.create ~meth ()) else None
+
+let history_record hist iter res =
+  match hist with Some h -> Ttsv_obs.History.record h iter res | None -> ()
+
+let history_finish hist =
+  match hist with
+  | None -> None
+  | Some h ->
+    let s = Ttsv_obs.History.snapshot h in
+    if Ttsv_obs.Flags.trace_on () then Ttsv_obs.Sink.conv ?span:(Ttsv_obs.Span.current ()) s;
+    Some s
 
 exception Not_converged of result
 
@@ -105,6 +126,7 @@ let rejected n x0 where =
     converged = false;
     status = Non_finite where;
     trace = [||];
+    conv = None;
   }
 
 (* Preconditioned conjugate gradients (Jacobi by default, or any
@@ -153,6 +175,8 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
         let rz = ref (Vec.pdot ?pool r z) in
         let res = ref (Vec.pnorm2 ?pool r /. nb) in
         let trace = ref [ !res ] in
+        let hist = history_create "cg" in
+        history_record hist 0 !res;
         let iter = ref 0 in
         let best = ref !res and best_iter = ref 0 in
         let status = ref (if !res <= tol then Some Converged else None) in
@@ -172,6 +196,7 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
             Vec.paxpy2 ?pool alpha p ap x r;
             res := Vec.pnorm2 ?pool r /. nb;
             trace := !res :: !trace;
+            history_record hist !iter !res;
             notify on_iterate !iter !res;
             if !res <= tol then status := Some Converged
             else begin
@@ -211,6 +236,7 @@ let cg ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
           converged;
           status = (if converged then Converged else status);
           trace = Array.of_list (List.rev !trace);
+          conv = history_finish hist;
         })
 
 let cg_exn ?tol ?max_iter ?x0 a b =
@@ -253,6 +279,8 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
     let v = Vec.zeros n and p = Vec.zeros n in
     let res = ref (Vec.pnorm2 ?pool r /. nb) in
     let trace = ref [ !res ] in
+    let hist = history_create "bicgstab" in
+    history_record hist 0 !res;
     let iter = ref 0 in
     let best = ref !res and best_iter = ref 0 in
     let status = ref (if !res <= tol then Some Converged else None) in
@@ -284,6 +312,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
             Vec.paxpy ?pool !alpha p_hat x;
             res := Vec.pnorm2 ?pool s /. nb;
             trace := !res :: !trace;
+            history_record hist !iter !res;
             notify on_iterate !iter !res;
             status := Some Converged
           end
@@ -303,6 +332,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
               Array.blit r' 0 r 0 n;
               res := Vec.pnorm2 ?pool r /. nb;
               trace := !res :: !trace;
+              history_record hist !iter !res;
               notify on_iterate !iter !res;
               if !res <= tol then status := Some Converged
               else
@@ -329,6 +359,7 @@ let bicgstab ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window
       converged;
       status = (if converged then Converged else status);
       trace = Array.of_list (List.rev !trace);
+      conv = history_finish hist;
     })
 
 let stationary name ?(tol = 1e-10) ?max_iter ?on_iterate update a b =
@@ -374,6 +405,9 @@ let stationary name ?(tol = 1e-10) ?max_iter ?on_iterate update a b =
       converged = !res <= tol;
       status;
       trace = Array.of_list (List.rev !trace);
+      (* stationary methods are debugging tools, not ladder rungs; no
+         replayable curve needed beyond [trace] *)
+      conv = None;
     }
 
 let jacobi ?tol ?max_iter a b =

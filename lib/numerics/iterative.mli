@@ -33,6 +33,13 @@ type result = {
   converged : bool;  (** whether [residual <= tol] was reached *)
   status : status;  (** why the iteration stopped *)
   trace : float array;  (** relative-residual history, initial guess included *)
+  conv : Ttsv_obs.History.snapshot option;
+      (** bounded convergence history, recorded only while observability
+          is enabled ({!Ttsv_obs.Flags.enabled}) — [None] on the
+          disabled path (no ring buffer is allocated) and for the
+          stationary methods.  When a trace file is open the same
+          snapshot is emitted as a [conv] JSONL event tagged with the
+          enclosing span. *)
 }
 
 exception Not_converged of result

@@ -47,6 +47,9 @@ type t = {
   coarse_lu : Dense.lu;
   nu : int;
   budget : Budget.t option; (* captured at build time, polled per level *)
+  hist : Ttsv_obs.History.t option;
+      (* per-V-cycle residual history; allocated at build time only when
+         observability is on, so the disabled path stays allocation-free *)
 }
 
 let default_coarse_cap = 200
@@ -403,7 +406,12 @@ let build ?pool ?budget ?(max_levels = default_max_levels)
     Error
       (Printf.sprintf "grid shape (%d cells) does not match matrix order %d"
          (cells shape) n)
-  else begin
+  else
+    (* the one-time hierarchy construction (coarsening, Galerkin
+       products, line factorisations) under its own span, so profiles
+       separate setup cost from per-cycle cost *)
+    Ttsv_obs.Span.with_ ~name:"mg.setup" @@ fun () ->
+    begin
     let exception Expired of Budget.verdict in
     let poll () =
       match Option.bind budget Budget.check with
@@ -446,7 +454,12 @@ let build ?pool ?budget ?(max_levels = default_max_levels)
       let levels = Array.of_list levels in
       let coarsest = levels.(Array.length levels - 1) in
       match Dense.lu_factor (Sparse.to_dense coarsest.a) with
-      | lu -> Ok { levels; coarse_lu = lu; nu; budget }
+      | lu ->
+        let hist =
+          if Ttsv_obs.Flags.enabled () then Some (Ttsv_obs.History.create ~meth:"mg" ())
+          else None
+        in
+        Ok { levels; coarse_lu = lu; nu; budget; hist }
       | exception Dense.Singular -> Error "singular coarsest-level operator")
   end
 
@@ -459,6 +472,7 @@ let build ?pool ?budget ?(max_levels = default_max_levels)
    place; when [from_zero] the initial residual is [b] itself and the
    first matvec is skipped. *)
 let cheb_smooth ?pool t lev ~from_zero x b deg =
+  Ttsv_obs.Span.with_ ~name:"mg.smooth" @@ fun () ->
   let n = Array.length x in
   let pl = Option.value pool ~default:Pool.seq in
   let beta = 1.1 *. lev.lmax in
@@ -542,7 +556,15 @@ let rec vcycle ?pool t l r =
 let cycle ?pool t r =
   if Array.length r <> Sparse.rows t.levels.(0).a then
     invalid_arg "Multigrid.cycle: dimension mismatch";
-  vcycle ?pool t 0 r
+  (* one history point per V-cycle: the norm of the residual handed in.
+     Sequential norm, computed only when the history exists, so pooled
+     runs stay bitwise identical to sequential ones. *)
+  (match t.hist with
+  | Some h -> Ttsv_obs.History.record h (Ttsv_obs.History.total h) (Vec.norm2 r)
+  | None -> ());
+  Ttsv_obs.Span.with_ ~name:"mg.cycle" @@ fun () -> vcycle ?pool t 0 r
+
+let conv t = Option.map Ttsv_obs.History.snapshot t.hist
 
 let num_levels t = Array.length t.levels
 let level_shape t l = Array.copy t.levels.(l).shape

@@ -8,7 +8,10 @@ let disable_trace () =
   Flags.refresh ();
   (* flush accumulated metrics into the file before closing so a trace
      is self-contained even when nobody prints the summary *)
-  if Flags.metrics_on () then Sink.snapshot (Metrics.snapshot ());
+  if Flags.metrics_on () then begin
+    Gcstats.sample ();
+    Sink.snapshot (Metrics.snapshot ())
+  end;
   Sink.close_trace ()
 
 let enable_metrics () =
@@ -20,6 +23,7 @@ let disable_metrics () =
   Flags.refresh ()
 
 let print_summary ppf =
+  Gcstats.sample ();
   Format.fprintf ppf "@[<v>observability summary (registry: default)@,%a@]@."
     Metrics.pp_summary (Metrics.snapshot ())
 

@@ -1,0 +1,25 @@
+(** GC and allocation telemetry.
+
+    {!sample} refreshes the [gc.*] gauges in the default metrics
+    registry from [Gc.quick_stat] (no-op when metrics are off); it is
+    called automatically before every summary snapshot by {!Config}, so
+    printed summaries and JSONL [summary] lines carry current GC
+    counters without any instrumentation in user code.
+
+    Per-span allocation deltas are handled in {!Span}: when metrics are
+    on, the span records the difference in {!allocated_words} between
+    open and close into the ["alloc.<name>"] histogram via
+    {!Metrics.span_alloc}. *)
+
+val allocated_words : unit -> float
+(** Total words allocated since program start
+    ([Gc.minor_words () + major_words - promoted_words]); monotone and
+    suitable for deltas.  The minor component reads the young pointer
+    and is exact even in native code; direct-to-major allocations reach
+    the counters only at collection slices. *)
+
+val sample : unit -> unit
+(** Set the [gc.minor_words], [gc.promoted_words], [gc.major_words],
+    [gc.allocated_words], [gc.minor_collections],
+    [gc.major_collections], [gc.compactions] and [gc.heap_words]
+    gauges.  No-op when metrics are off. *)

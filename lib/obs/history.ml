@@ -1,0 +1,64 @@
+(* Bounded ring buffer of (iteration, residual) pairs recorded inside
+   iterative solvers.  Preallocated at creation so the per-iteration
+   record is two array stores and an increment; when the buffer wraps,
+   the oldest entries are overwritten and [total] keeps counting. *)
+
+type t = {
+  meth : string;
+  cap : int;
+  iters : int array;
+  residuals : float array;
+  mutable total : int;
+}
+
+type snapshot = {
+  meth : string;
+  total : int;
+  iterations : int array;
+  residuals : float array;
+}
+
+let default_cap = 512
+
+let create ?(cap = default_cap) ~meth () =
+  if cap < 1 then invalid_arg "History.create: cap must be positive";
+  {
+    meth;
+    cap;
+    iters = Array.make cap 0;
+    residuals = Array.make cap 0.;
+    total = 0;
+  }
+
+let record (t : t) iter res =
+  let slot = t.total mod t.cap in
+  t.iters.(slot) <- iter;
+  t.residuals.(slot) <- res;
+  t.total <- t.total + 1
+
+let total (t : t) = t.total
+let capacity (t : t) = t.cap
+
+let snapshot (t : t) =
+  let kept = min t.total t.cap in
+  let first = t.total - kept in
+  {
+    meth = t.meth;
+    total = t.total;
+    iterations = Array.init kept (fun i -> t.iters.((first + i) mod t.cap));
+    residuals = Array.init kept (fun i -> t.residuals.((first + i) mod t.cap));
+  }
+
+let snapshot_fields s =
+  [
+    ("method", Json.String s.meth);
+    ("total", Json.Int s.total);
+    ( "iterations",
+      Json.List (Array.to_list (Array.map (fun i -> Json.Int i) s.iterations))
+    );
+    ( "residuals",
+      Json.List (Array.to_list (Array.map (fun r -> Json.Float r) s.residuals))
+    );
+  ]
+
+let snapshot_to_json s = Json.Obj (snapshot_fields s)

@@ -1,0 +1,46 @@
+(** Bounded residual-history ring buffer.
+
+    Iterative solvers record one (iteration, residual) pair per
+    iteration into a [t]; when more than [cap] pairs arrive the oldest
+    are overwritten, so memory stays bounded no matter how long the
+    solve runs.  A {!snapshot} freezes the retained window (in
+    chronological order) together with the true total count, ready to be
+    attached to a diagnostics record or emitted as a [conv] trace event.
+
+    Callers are expected to allocate a [t] only when observability is
+    enabled ({!Flags.enabled}): the disabled path of an instrumented
+    solver must not allocate ring buffers. *)
+
+type t
+
+type snapshot = {
+  meth : string;  (** solver that produced the curve, e.g. ["cg"] *)
+  total : int;  (** pairs recorded over the solve, including overwritten *)
+  iterations : int array;  (** retained window, oldest first *)
+  residuals : float array;  (** same length as [iterations] *)
+}
+
+val default_cap : int
+(** Default ring capacity (512 entries). *)
+
+val create : ?cap:int -> meth:string -> unit -> t
+(** [create ~meth ()] preallocates a ring of [cap] entries (default
+    {!default_cap}).  @raise Invalid_argument if [cap < 1]. *)
+
+val record : t -> int -> float -> unit
+(** [record t iter res] appends one pair, overwriting the oldest entry
+    once the ring is full. *)
+
+val total : t -> int
+(** Pairs recorded so far (not capped). *)
+
+val capacity : t -> int
+
+val snapshot : t -> snapshot
+(** Freeze the retained window, oldest entry first. *)
+
+val snapshot_fields : snapshot -> (string * Json.t) list
+(** Fields of the JSON encoding, for embedding into a larger object
+    (the trace [conv] event adds [type]/[t]/[span] around these). *)
+
+val snapshot_to_json : snapshot -> Json.t

@@ -9,19 +9,95 @@ type t =
 
 (* ------------------------------------------------------------- printing *)
 
+(* Strings are arbitrary byte sequences but emitted lines must be pure
+   ASCII.  Valid UTF-8 sequences become \uXXXX escapes (surrogate pairs
+   above the BMP); a byte that is not part of a valid sequence is
+   escaped as the lone low surrogate \udcXX ("surrogateescape"), which
+   the parser folds back to the raw byte — emission is lossless for any
+   byte string. *)
+
+(* [utf8_decode s i] returns [Some (code, len)] when [s] carries a valid
+   UTF-8 sequence at byte [i]: no overlong forms, no surrogate code
+   points, nothing above U+10FFFF. *)
+let utf8_decode s i =
+  let n = String.length s in
+  let byte k = Char.code s.[k] in
+  let cont k = k < n && byte k land 0xC0 = 0x80 in
+  let b0 = byte i in
+  if b0 < 0xC2 then None
+  else if b0 <= 0xDF then
+    if cont (i + 1) then Some (((b0 land 0x1F) lsl 6) lor (byte (i + 1) land 0x3F), 2)
+    else None
+  else if b0 <= 0xEF then
+    if cont (i + 1) && cont (i + 2) then begin
+      let code =
+        ((b0 land 0x0F) lsl 12)
+        lor ((byte (i + 1) land 0x3F) lsl 6)
+        lor (byte (i + 2) land 0x3F)
+      in
+      if code >= 0x800 && not (code >= 0xD800 && code <= 0xDFFF) then Some (code, 3)
+      else None
+    end
+    else None
+  else if b0 <= 0xF4 then
+    if cont (i + 1) && cont (i + 2) && cont (i + 3) then begin
+      let code =
+        ((b0 land 0x07) lsl 18)
+        lor ((byte (i + 1) land 0x3F) lsl 12)
+        lor ((byte (i + 2) land 0x3F) lsl 6)
+        lor (byte (i + 3) land 0x3F)
+      in
+      if code >= 0x10000 && code <= 0x10FFFF then Some (code, 4) else None
+    end
+    else None
+  else None
+
+let add_uescape buf code =
+  if code < 0x10000 then Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+  else begin
+    let c = code - 0x10000 in
+    Buffer.add_string buf
+      (Printf.sprintf "\\u%04x\\u%04x" (0xD800 lor (c lsr 10)) (0xDC00 lor (c land 0x3FF)))
+  end
+
 let escape buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' ->
+      Buffer.add_string buf "\\\"";
+      incr i
+    | '\\' ->
+      Buffer.add_string buf "\\\\";
+      incr i
+    | '\n' ->
+      Buffer.add_string buf "\\n";
+      incr i
+    | '\r' ->
+      Buffer.add_string buf "\\r";
+      incr i
+    | '\t' ->
+      Buffer.add_string buf "\\t";
+      incr i
+    | c when Char.code c < 0x20 ->
+      Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+      incr i
+    | c when Char.code c < 0x80 ->
+      Buffer.add_char buf c;
+      incr i
+    | c -> (
+      match utf8_decode s !i with
+      | Some (code, len) ->
+        add_uescape buf code;
+        i := !i + len
+      | None ->
+        (* invalid byte: lone low surrogate carrying the byte value *)
+        add_uescape buf (0xDC00 lor Char.code c);
+        incr i))
+  done;
   Buffer.add_char buf '"'
 
 (* JSON has no NaN/Inf literal; non-finite floats degrade to null so every
@@ -96,6 +172,24 @@ let literal c word value =
   end
   else fail c (Printf.sprintf "expected %s" word)
 
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string_body c =
   let buf = Buffer.create 16 in
   let rec go () =
@@ -126,9 +220,29 @@ let parse_string_body c =
           | Some v -> v
           | None -> fail c "bad \\u escape"
         in
-        (* enough for the control characters we emit; other code points
-           degrade to '?' rather than attempting full UTF-8 *)
-        if code < 0x80 then Buffer.add_char buf (Char.chr code) else Buffer.add_char buf '?'
+        (* a high surrogate followed by \uDCxx..\uDFxx is an astral
+           pair; combine before encoding *)
+        let code =
+          if
+            code >= 0xD800 && code <= 0xDBFF
+            && c.pos + 6 <= String.length c.src
+            && c.src.[c.pos] = '\\'
+            && c.src.[c.pos + 1] = 'u'
+          then begin
+            match int_of_string_opt ("0x" ^ String.sub c.src (c.pos + 2) 4) with
+            | Some low when low >= 0xDC00 && low <= 0xDFFF ->
+              c.pos <- c.pos + 6;
+              0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+            | _ -> code
+          end
+          else code
+        in
+        (* lone low surrogates \udc80..\udcff are surrogateescape-encoded
+           raw bytes (see [escape]); everything else is UTF-8-encoded
+           (lone surrogates outside that band fall through to WTF-8
+           rather than failing the whole line) *)
+        if code >= 0xDC80 && code <= 0xDCFF then Buffer.add_char buf (Char.chr (code land 0xFF))
+        else add_utf8 buf code
       | _ -> fail c "bad escape");
       go ()
     end

@@ -4,7 +4,15 @@
     covers exactly what the observability layer needs — emitting JSONL
     trace lines and parsing them back in tests and the [obs_check]
     schema validator.  Non-finite floats print as [null] (JSON has no
-    NaN/Inf literal); [\u] escapes outside ASCII degrade to ['?']. *)
+    NaN/Inf literal).
+
+    Emitted strings are pure ASCII and lossless for arbitrary byte
+    sequences: valid UTF-8 becomes [\uXXXX] escapes (surrogate pairs
+    above the BMP), and bytes that are not part of a valid UTF-8
+    sequence are escaped as lone low surrogates [\udc80]..[\udcff] (the
+    surrogateescape convention).  The parser inverts both, so
+    [parse (to_string (String s)) = Ok (String s)] holds byte-for-byte
+    for every [s]. *)
 
 type t =
   | Null

@@ -153,6 +153,15 @@ let span_duration ?(registry = default) name dur =
     hist_observe h dur
   end
 
+(* per-span allocation deltas live under "alloc.", not "span.": the
+   bench phase harvester and the obs_check capacity check fold every
+   "span.*" histogram into wall-clock sums, and words are not seconds *)
+let span_alloc ?(registry = default) name words =
+  if Flags.metrics_on () then begin
+    let h = Histogram.make ~registry ("alloc." ^ name) in
+    hist_observe h words
+  end
+
 let reset ?(registry = default) () =
   locked registry (fun () ->
       Hashtbl.iter
@@ -237,6 +246,33 @@ let merge a b =
   in
   go a b
 
+(* Percentile estimate from the log2 buckets: walk the cumulative
+   counts to the bucket holding rank [q * count], then interpolate
+   linearly inside that bucket, clamped to the observed [min, max] so
+   the estimate never leaves the data range.  Resolution is therefore
+   one octave at worst.  NaN on an empty histogram. *)
+let percentile (h : hist_snapshot) q =
+  if h.count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.count in
+    let rec go i cum =
+      if i >= nbuckets then h.max
+      else begin
+        let n = h.buckets.(i) in
+        if n > 0 && float_of_int (cum + n) >= target then begin
+          let lo = Float.max (bucket_lower i) h.min in
+          let hi = Float.min (bucket_upper i) h.max in
+          let lo = Float.min lo hi in
+          let frac = Float.max 0. ((target -. float_of_int cum) /. float_of_int n) in
+          lo +. (frac *. (hi -. lo))
+        end
+        else go (i + 1) (cum + n)
+      end
+    in
+    go 0 0
+  end
+
 let sample_to_json = function
   | C n -> Json.Obj [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
   | G v -> Json.Obj [ ("kind", Json.String "gauge"); ("value", Json.Float v) ]
@@ -251,6 +287,9 @@ let sample_to_json = function
         ("sum", Json.Float h.sum);
         ("min", Json.Float (if h.count = 0 then Float.nan else h.min));
         ("max", Json.Float (if h.count = 0 then Float.nan else h.max));
+        ("p50", Json.Float (percentile h 0.50));
+        ("p95", Json.Float (percentile h 0.95));
+        ("p99", Json.Float (percentile h 0.99));
         ( "buckets",
           Json.List
             (List.map
@@ -274,9 +313,10 @@ let pp_summary ppf s =
       | H h ->
         if h.count = 0 then fprintf ppf "%-32s %-9s (empty)@," name "histogram"
         else
-          fprintf ppf "%-32s %-9s n=%d sum=%.6g avg=%.3g min=%.3g max=%.3g@," name "histogram"
-            h.count h.sum
+          fprintf ppf
+            "%-32s %-9s n=%d sum=%.6g avg=%.3g min=%.3g max=%.3g p50=%.3g p95=%.3g p99=%.3g@,"
+            name "histogram" h.count h.sum
             (h.sum /. float_of_int h.count)
-            h.min h.max)
+            h.min h.max (percentile h 0.50) (percentile h 0.95) (percentile h 0.99))
     s;
   fprintf ppf "@]"

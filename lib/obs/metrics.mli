@@ -66,6 +66,12 @@ val span_duration : ?registry:t -> string -> float -> unit
     how phase breakdowns reach the bench JSON without the bench knowing
     every span site. *)
 
+val span_alloc : ?registry:t -> string -> float -> unit
+(** [span_alloc name words] accumulates a closed span's allocation delta
+    (in words, from [Gc.quick_stat]) into the ["alloc.<name>"]
+    histogram.  Kept out of the ["span."] namespace so phase/wall-clock
+    consumers never mix words with seconds. *)
+
 val reset : ?registry:t -> unit -> unit
 (** Zero every instrument in place (handles stay valid). *)
 
@@ -93,6 +99,15 @@ val merge : snapshot -> snapshot -> snapshot
     counters and histograms add, gauges keep the max.  Raises
     [Invalid_argument] if the same name carries different kinds. *)
 
+val percentile : hist_snapshot -> float -> float
+(** [percentile h q] estimates the [q]-quantile ([0. <= q <= 1.]) from
+    the log2 buckets: cumulative walk to the bucket holding the target
+    rank, linear interpolation inside it, clamped to the observed
+    [min]/[max].  Accurate to one octave at worst; NaN when empty. *)
+
 val sample_to_json : sample -> Json.t
+(** Histogram samples carry [p50]/[p95]/[p99] estimates (null when the
+    histogram is empty, like [min]/[max]). *)
+
 val snapshot_to_json : snapshot -> Json.t
 val pp_summary : Format.formatter -> snapshot -> unit

@@ -1,4 +1,8 @@
-let schema = "ttsv.trace.v1"
+let schema = "ttsv.trace.v2"
+
+(* v2 added the "conv" record; every v1 record kind is unchanged, so
+   consumers accept both *)
+let schema_v1 = "ttsv.trace.v1"
 
 (* Counts every JSONL line ever written, always (not guarded): the
    disabled-path regression test asserts this stays flat while
@@ -87,6 +91,13 @@ let metric ?span ~kind ~name value =
           ("value", value);
           ("t", Json.Float (Clock.elapsed ()));
         ]
+       @ match span with Some id -> [ ("span", Json.Int id) ] | None -> []))
+
+let conv ?span (s : History.snapshot) =
+  emit_json
+    (Json.Obj
+       ((("type", Json.String "conv") :: History.snapshot_fields s)
+       @ [ ("t", Json.Float (Clock.elapsed ())) ]
        @ match span with Some id -> [ ("span", Json.Int id) ] | None -> []))
 
 let snapshot s =

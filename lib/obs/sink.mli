@@ -2,14 +2,19 @@
 
     One JSON object per line.  Every file starts with a [meta] line
     carrying the schema version ({!schema}); subsequent lines are
-    [span], [metric] and [summary] events.  Writes are mutex-serialised
-    (spans close concurrently on pooled domains) and silently dropped
-    when no trace file is open, so callers only guard for performance,
-    not correctness. *)
+    [span], [metric], [conv] and [summary] events.  Writes are
+    mutex-serialised (spans close concurrently on pooled domains) and
+    silently dropped when no trace file is open, so callers only guard
+    for performance, not correctness. *)
 
 val schema : string
-(** Current schema identifier, ["ttsv.trace.v1"].  [obs_check] and the
-    round-trip tests validate against this. *)
+(** Current schema identifier, ["ttsv.trace.v2"].  v2 added the [conv]
+    convergence-history record; all v1 record kinds are unchanged.
+    [obs_check] and {!Profile} accept {!schema_v1} files too. *)
+
+val schema_v1 : string
+(** The previous identifier, ["ttsv.trace.v1"], kept so consumers can
+    stay backward compatible. *)
 
 val write_count : unit -> int
 (** Total JSONL lines written over the process lifetime (never reset).
@@ -41,6 +46,11 @@ val metric : ?span:int -> kind:string -> name:string -> Json.t -> unit
 (** Emit a point-in-time metric sample (e.g. the [solve.iterations]
     total of one finished solve), tagged with the enclosing span id when
     the caller has one. *)
+
+val conv : ?span:int -> History.snapshot -> unit
+(** Emit one [conv] line — the residual history of one finished solve
+    (method, total count, retained iteration/residual window), tagged
+    with the enclosing span id when the caller has one. *)
 
 val snapshot : Metrics.snapshot -> unit
 (** Emit one [summary] line per metric — written when a trace closes so

@@ -19,6 +19,9 @@ let with_ ?(attrs = []) ~name f =
     let parent = match !stack with [] -> None | fr :: _ -> Some fr.id in
     let depth = List.length !stack in
     let id = Atomic.fetch_and_add next_id 1 in
+    (* NaN marks "metrics were off at open", so a span that straddles an
+       enable_metrics call never records a bogus since-startup delta *)
+    let alloc0 = if Flags.metrics_on () then Gcstats.allocated_words () else Float.nan in
     let start = Clock.elapsed () in
     stack := { id; name; start } :: !stack;
     let finish error =
@@ -27,6 +30,8 @@ let with_ ?(attrs = []) ~name f =
          are popped by their own [finish], so this only drops us) *)
       (match !stack with _ :: rest -> stack := rest | [] -> ());
       Metrics.span_duration name dur;
+      if Flags.metrics_on () && Float.is_finite alloc0 then
+        Metrics.span_alloc name (Gcstats.allocated_words () -. alloc0);
       if Flags.trace_on () then
         Sink.span ~id ~parent ~domain:(domain_id ()) ~depth ~name ~start ~dur
           ~attrs:(if error then ("error", "true") :: attrs else attrs)

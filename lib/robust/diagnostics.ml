@@ -23,6 +23,7 @@ type t = {
   iterations : int;
   residual : float;
   trace : float array;
+  conv : Ttsv_obs.History.snapshot option;
   wall_time : float;
 }
 
@@ -33,6 +34,7 @@ let empty =
     iterations = 0;
     residual = Float.nan;
     trace = [||];
+    conv = None;
     wall_time = 0.;
   }
 
@@ -136,4 +138,8 @@ let to_json ?(max_trace = default_trace_cap) d =
       ("trace", Json.List (Array.to_list (Array.map (fun r -> Json.Float r) shown)));
       ("trace_len", Json.Int (Array.length d.trace));
       ("truncated", Json.Bool truncated);
+      ( "conv",
+        match d.conv with
+        | Some s -> Ttsv_obs.History.snapshot_to_json s
+        | None -> Json.Null );
     ]

@@ -41,6 +41,10 @@ type t = {
   iterations : int;  (** total across attempts *)
   residual : float;  (** final true relative residual *)
   trace : float array;  (** residual history of the deciding attempt *)
+  conv : Ttsv_obs.History.snapshot option;
+      (** bounded convergence history of the deciding attempt — present
+          only when observability was enabled during the solve (see
+          {!Ttsv_numerics.Iterative.result}); [None] for direct solves *)
   wall_time : float;  (** total seconds *)
 }
 
@@ -67,4 +71,6 @@ val pp : Format.formatter -> t -> unit
 val to_json : ?max_trace:int -> t -> Ttsv_obs.Json.t
 (** Machine-readable form of the record.  The ["trace"] array is capped
     like {!pp_trace}, with ["truncated"] set [true] and ["trace_len"]
-    carrying the full history length. *)
+    carrying the full history length.  ["conv"] carries the
+    {!Ttsv_obs.History.snapshot} of the deciding attempt ([null] when
+    absent). *)

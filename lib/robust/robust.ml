@@ -144,6 +144,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
     let attempts = ref [] in
     let total_iters = ref 0 in
     let trace = ref [||] in
+    let conv = ref None in
     let note a = attempts := a :: !attempts in
     let consider x res =
       if Float.is_finite res && res < !best_res then begin
@@ -174,6 +175,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         iterations = !total_iters;
         residual;
         trace = !trace;
+        conv = !conv;
         wall_time;
       }
     in
@@ -226,6 +228,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         in
         total_iters := !total_iters + r.Iterative.iterations;
         trace := r.Iterative.trace;
+        conv := r.Iterative.conv;
         consider r.Iterative.solution r.Iterative.residual;
         let outcome =
           if r.Iterative.converged then Diagnostics.Success
@@ -259,6 +262,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
         consider x res;
         let ok = Float.is_finite res && res <= direct_accept tol in
         trace := [| res |];
+        conv := None;
         note
           {
             Diagnostics.rung = Direct;

@@ -472,6 +472,7 @@ let diagnostics_tests =
             iterations = 3;
             residual = Float.nan;
             trace = [| 1.; Float.nan; infinity; neg_infinity |];
+            conv = None;
             wall_time = Float.nan;
           }
         in

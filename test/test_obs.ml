@@ -234,6 +234,66 @@ let gen_json =
 
 let prop_json_roundtrip j = Json.parse (Json.to_string j) = Ok j
 
+(* arbitrary byte strings — including invalid UTF-8 — must survive the
+   surrogateescape emitter byte-for-byte, and the wire form must be pure
+   ASCII so a JSONL trace never carries raw control or 8-bit bytes *)
+let prop_string_bytes_roundtrip s =
+  let wire = Json.to_string (Json.String s) in
+  String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x80) wire
+  && Json.parse wire = Ok (Json.String s)
+
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 40))
+
+(* ---------------------------------------------------------- percentiles *)
+
+let test_percentiles () =
+  Config.enable_metrics ();
+  Fun.protect ~finally:Config.disable_metrics @@ fun () ->
+  let r = Metrics.create () in
+  let h = Metrics.Histogram.make ~registry:r "lat" in
+  (* constant stream: every percentile collapses onto the single
+     occupied bucket, clamped to the observed min/max *)
+  for _ = 1 to 100 do
+    Metrics.Histogram.observe h 4.0
+  done;
+  (match Metrics.snapshot ~registry:r () with
+  | [ (_, Metrics.H s) ] ->
+    Helpers.close "constant p50" 4.0 (Metrics.percentile s 0.50);
+    Helpers.close "constant p99" 4.0 (Metrics.percentile s 0.99)
+  | _ -> Alcotest.fail "expected exactly the one histogram");
+  (* bimodal: 90 fast samples at 1.0, 10 slow at 1024.0 — p50 sits in
+     the fast bucket, p99 in the slow one (log2 buckets are exact on
+     powers of two, so bucket bounds pin the answer tightly) *)
+  let r = Metrics.create () in
+  let h = Metrics.Histogram.make ~registry:r "lat2" in
+  for _ = 1 to 90 do
+    Metrics.Histogram.observe h 1.0
+  done;
+  for _ = 1 to 10 do
+    Metrics.Histogram.observe h 1024.0
+  done;
+  (match Metrics.snapshot ~registry:r () with
+  | [ (_, Metrics.H s) ] ->
+    let p50 = Metrics.percentile s 0.50 and p99 = Metrics.percentile s 0.99 in
+    Alcotest.(check bool)
+      (Printf.sprintf "p50 %g in the fast mode" p50)
+      true
+      (p50 >= 1.0 && p50 < 2.0);
+    Alcotest.(check bool)
+      (Printf.sprintf "p99 %g in the slow mode" p99)
+      true
+      (p99 >= 512. && p99 <= 1024.);
+    Alcotest.(check bool) "p50 <= p99" true (p50 <= p99)
+  | _ -> Alcotest.fail "expected exactly the one histogram");
+  (* empty histogram: NaN, mirroring the null min/max in the JSON *)
+  let r = Metrics.create () in
+  ignore (Metrics.Histogram.make ~registry:r "lat3");
+  match Metrics.snapshot ~registry:r () with
+  | [ (_, Metrics.H s) ] ->
+    Alcotest.(check bool) "empty p50 is NaN" true (Float.is_nan (Metrics.percentile s 0.5))
+  | _ -> Alcotest.fail "expected exactly the one histogram"
+
 (* -------------------------------------------------------- disabled path *)
 
 let test_disabled_path () =
@@ -257,6 +317,139 @@ let test_disabled_path () =
   Alcotest.(check int) "histogram stayed empty" 0 (Metrics.Histogram.count h);
   Alcotest.(check (option int)) "no open span" None (Span.current ());
   Alcotest.(check int) "depth back to 0" 0 (Span.depth ())
+
+(* --------------------------------------------------- concurrent emission *)
+
+(* four domains hammering the sink concurrently: the line mutex must
+   keep every JSONL line intact (read_trace fails the test on any
+   unparseable line), and no event may be lost *)
+let test_sink_concurrent () =
+  let per_task = 8 and tasks = 256 in
+  let lines =
+    traced (fun () ->
+        Pool.with_pool ~domains:4 (fun pool ->
+            ignore
+              (Pool.map_array pool
+                 (fun i ->
+                   Span.with_ ~name:"emit" (fun () ->
+                       for k = 1 to per_task do
+                         Sink.metric ~kind:"counter"
+                           ~name:(Printf.sprintf "conc.%d" (i mod 7))
+                           (Json.Int k)
+                       done))
+                 (Array.init tasks Fun.id))))
+  in
+  let metrics =
+    List.filter
+      (fun j ->
+        match Json.member "name" j with
+        | Some (Json.String s) -> String.length s >= 5 && String.sub s 0 5 = "conc."
+        | _ -> false)
+      (records "metric" lines)
+  in
+  Alcotest.(check int) "every metric event survived" (per_task * tasks) (List.length metrics);
+  Alcotest.(check int) "every span closed into the trace" tasks
+    (List.length (List.filter (fun j -> get_str "name" j = "emit") (records "span" lines)))
+
+(* ---------------------------------------------------- convergence events *)
+
+let test_conv_events () =
+  let n = 40 in
+  let a =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 2027 |]) (Helpers.gen_spd n)
+  in
+  let b = Array.make n 1. in
+  let diag = ref None in
+  let lines =
+    traced (fun () ->
+        match Robust.solve a b with
+        | Ok (_, d) -> diag := Some d
+        | Error _ -> Alcotest.fail "Robust.solve failed on an SPD system")
+  in
+  let d = match !diag with Some d -> d | None -> Alcotest.fail "no diagnostics" in
+  let snap =
+    match d.Diagnostics.conv with
+    | Some s -> s
+    | None -> Alcotest.fail "diagnostics carry no convergence history with obs enabled"
+  in
+  let kept = Array.length snap.Ttsv_obs.History.residuals in
+  Alcotest.(check bool) "history is non-empty" true (kept > 0);
+  Alcotest.(check bool) "retained window bounded by total" true
+    (kept <= snap.Ttsv_obs.History.total);
+  (* the curve ends at least as low as it starts on an SPD solve *)
+  Alcotest.(check bool) "residual did not grow overall" true
+    (snap.Ttsv_obs.History.residuals.(kept - 1) <= snap.Ttsv_obs.History.residuals.(0));
+  match records "conv" lines with
+  | [] -> Alcotest.fail "no conv event in the trace"
+  | ev :: _ ->
+    Alcotest.(check string)
+      "trace event names the same method" snap.Ttsv_obs.History.meth (get_str "method" ev);
+    Alcotest.(check int)
+      "trace event carries the same total" snap.Ttsv_obs.History.total (get_int "total" ev);
+    (* the event is tagged with the enclosing rung span *)
+    let span_id =
+      match Json.to_int_opt (get "span" ev) with
+      | Some id -> id
+      | None -> Alcotest.fail "conv event without a span tag"
+    in
+    let rung =
+      List.find_opt (fun j -> get_int "id" j = span_id) (records "span" lines)
+    in
+    (match rung with
+    | Some s ->
+      let name = get_str "name" s in
+      Alcotest.(check bool)
+        (Printf.sprintf "conv span %S is a robust rung" name)
+        true
+        (String.length name > 7 && String.sub name 0 7 = "robust.")
+    | None -> Alcotest.failf "conv event points at unknown span %d" span_id)
+
+let test_conv_disabled () =
+  Config.disable_trace ();
+  Config.disable_metrics ();
+  let n = 24 in
+  let a =
+    QCheck2.Gen.generate1 ~rand:(Random.State.make [| 2028 |]) (Helpers.gen_spd n)
+  in
+  match Robust.solve a (Array.make n 1.) with
+  | Ok (_, d) ->
+    Alcotest.(check bool)
+      "no ring buffer allocated with obs disabled" true
+      (d.Diagnostics.conv = None)
+  | Error _ -> Alcotest.fail "Robust.solve failed on an SPD system"
+
+(* --------------------------------------------------------- GC telemetry *)
+
+let test_gc_telemetry () =
+  Config.enable_metrics ();
+  Metrics.reset ();
+  Fun.protect ~finally:Config.disable_metrics @@ fun () ->
+  let snap_val name snap =
+    match List.assoc_opt name snap with
+    | Some (Metrics.G v) -> v
+    | _ -> Alcotest.failf "gauge %S missing from the snapshot" name
+  in
+  Ttsv_obs.Gcstats.sample ();
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "gc.allocated_words is positive" true
+    (snap_val "gc.allocated_words" snap > 0.);
+  Alcotest.(check bool) "gc.heap_words is positive" true (snap_val "gc.heap_words" snap > 0.);
+  (* spans record their allocation delta into the alloc.* histogram;
+     allocate through minor-heap boxes — the young-pointer accounting is
+     exact, whereas large direct-to-major blocks reach [quick_stat]'s
+     counters only lazily *)
+  Span.with_ ~name:"alloctest" (fun () ->
+      (* cons cells and tuples: guaranteed minor-heap allocations (float
+         refs unbox, large arrays go direct-to-major where the counters
+         update lazily) *)
+      ignore (Sys.opaque_identity (List.init 10_000 (fun i -> (i, i)))));
+  match List.assoc_opt "alloc.alloctest" (Metrics.snapshot ()) with
+  | Some (Metrics.H h) ->
+    Alcotest.(check int) "one span, one alloc observation" 1 h.Metrics.count;
+    Alcotest.(check bool)
+      (Printf.sprintf "alloc delta %.0f covers the boxed floats" h.Metrics.sum)
+      true (h.Metrics.sum >= 10_000.)
+  | _ -> Alcotest.fail "no alloc.alloctest histogram in the registry"
 
 (* -------------------------------------------- solve.iterations crosscheck *)
 
@@ -301,6 +494,14 @@ let suite =
         QCheck2.Gen.(triple gen_ops gen_ops gen_ops)
         prop_merge_associative;
       Helpers.qtest "JSON values survive to_string/parse" gen_json prop_json_roundtrip;
+      Helpers.qtest ~count:500 "arbitrary byte strings round-trip through pure-ASCII JSON"
+        gen_bytes prop_string_bytes_roundtrip;
+      Helpers.test "histogram percentiles from log2 buckets" test_percentiles;
+      Helpers.test "4-domain concurrent emission keeps every line parseable"
+        test_sink_concurrent;
+      Helpers.test "conv events mirror the diagnostics history" test_conv_events;
+      Helpers.test "no convergence history on the disabled path" test_conv_disabled;
+      Helpers.test "GC gauges and per-span allocation deltas" test_gc_telemetry;
       Helpers.test "disabled path writes nothing and counts nothing" test_disabled_path;
       Helpers.test "solve.iterations event matches the diagnostics" test_solve_iterations;
     ] )
