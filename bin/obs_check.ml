@@ -9,6 +9,8 @@
      obs_check multigrid BENCH_multigrid.json
      obs_check idle TRACE.jsonl MAX_SECONDS
      obs_check regress BASELINE.json CURRENT.json [WALL_TOL]
+     obs_check service BENCH_service.json
+     obs_check hitrate TRACE.jsonl MIN_RATE
 
    [validate] exits 1 on the first malformed line — and, when MIN_DEPTH
    is given, when no span nests that deep.  [bench] only prints
@@ -28,7 +30,13 @@
    iterations/wall_s metric in CURRENT against BASELINE (exact band on
    iteration counts, WALL_TOL ratio tolerance — default 2.0 — on wall
    clocks), prints the trend table, and exits 1 naming each offending
-   metric. *)
+   metric.  [service] is the serving-throughput gate on
+   BENCH_service.json: every batch of >= 100 repeated-geometry requests
+   must show a cache hit rate above 0.5 and a throughput at least 3x the
+   batch-1 run's — the whole point of the batch engine's caches.
+   [hitrate] reads the [service.cache.*] counters out of a serve trace's
+   summary lines and exits 1 when the pooled hit rate is below
+   MIN_RATE. *)
 
 module Json = Ttsv_obs.Json
 
@@ -438,11 +446,115 @@ let regress ?wall_tol base_path cur_path =
     List.iter (fun v -> prerr_endline ("obs_check: regression: " ^ v)) vs;
     fail "%s vs %s: %d metric(s) regressed" cur_path base_path (List.length vs)
 
+(* ----------------------------------------------------------------- service *)
+
+(* CI gate on BENCH_service.json: amortization must actually pay.  Each
+   artefact's batch-1 run is the no-reuse baseline; every run with >= 100
+   requests over repeated geometries must clear a 0.5 cache hit rate and
+   3x the baseline throughput.  Hit rates are deterministic; the
+   throughput ratio compares two measurements from the same process, so
+   runner speed largely cancels. *)
+let service path =
+  let j = read_bench path in
+  let artefacts =
+    match field "artefacts" j with
+    | Some (Json.List (_ :: _ as l)) -> l
+    | _ -> fail "%s: no \"artefacts\" array" path
+  in
+  List.iter
+    (fun art ->
+      let name =
+        match Option.bind (field "name" art) Json.to_string_opt with
+        | Some n -> n
+        | None -> fail "%s: artefact without a name" path
+      in
+      let runs =
+        match field "runs" art with
+        | Some (Json.List (_ :: _ as l)) -> l
+        | _ -> fail "%s: artefact %s has no runs" path name
+      in
+      let run_field run what into =
+        match Option.bind (field what run) into with
+        | Some v -> v
+        | None -> fail "%s: artefact %s: run without %S" path name what
+      in
+      let batch run = run_field run "batch" Json.to_int_opt in
+      let baseline =
+        match List.find_opt (fun r -> batch r = 1) runs with
+        | Some r -> run_field r "throughput_rps" Json.to_float_opt
+        | None -> fail "%s: artefact %s: no batch-1 baseline run" path name
+      in
+      if baseline <= 0. then fail "%s: artefact %s: non-positive baseline throughput" path name;
+      let gated = List.filter (fun r -> batch r >= 100) runs in
+      if gated = [] then fail "%s: artefact %s: no run with batch >= 100 to gate" path name;
+      List.iter
+        (fun run ->
+          let b = batch run in
+          let hit_rate = run_field run "hit_rate" Json.to_float_opt in
+          let throughput = run_field run "throughput_rps" Json.to_float_opt in
+          if hit_rate <= 0.5 then
+            fail
+              "%s: artefact %s batch %d: cache hit rate %.3f <= 0.50 — repeated geometries \
+               are not being served from cache"
+              path name b hit_rate;
+          let speedup = throughput /. baseline in
+          if speedup < 3. then
+            fail
+              "%s: artefact %s batch %d: %.1f solves/s vs %.1f at batch 1 (%.2fx < 3x) — \
+               setup amortization is not paying"
+              path name b throughput baseline speedup;
+          Printf.printf "%s: %s batch %d ok — hit rate %.2f, %.1f solves/s (%.1fx batch-1)\n"
+            path name b hit_rate throughput speedup)
+        gated)
+    artefacts
+
+(* ----------------------------------------------------------------- hitrate *)
+
+(* pooled hit rate of the service caches, from the trace's summary
+   snapshot: counters named service.cache.<level>.hits|misses *)
+let hitrate path min_rate =
+  let hits = ref 0. and misses = ref 0. in
+  let ends_with suffix s =
+    let ls = String.length suffix and l = String.length s in
+    l >= ls && String.sub s (l - ls) ls = suffix
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match Json.parse line with
+      | Error _ -> () (* validate's job, not ours *)
+      | Ok j ->
+        if Option.bind (field "type" j) Json.to_string_opt = Some "summary" then (
+          match Option.bind (field "name" j) Json.to_string_opt with
+          | Some name
+            when String.length name > 14 && String.sub name 0 14 = "service.cache." -> (
+            let value () =
+              match
+                Option.bind (field "data" j) (fun d ->
+                    Option.bind (field "value" d) Json.to_float_opt)
+              with
+              | Some v -> v
+              | None -> fail "line %d: %s summary without a numeric value" lineno name
+            in
+            if ends_with ".hits" name then hits := !hits +. value ()
+            else if ends_with ".misses" name then misses := !misses +. value ())
+          | _ -> ()))
+    (read_lines path);
+  let total = !hits +. !misses in
+  if total = 0. then
+    fail "%s: no service.cache.* counters — did the serve run have --metrics on?" path;
+  let rate = !hits /. total in
+  if rate < min_rate then
+    fail "%s: cache hit rate %.3f below the %.3f floor (%.0f hits / %.0f lookups)" path rate
+      min_rate !hits total;
+  Printf.printf "%s: OK — cache hit rate %.3f (%.0f hits / %.0f lookups) >= %.3f\n" path rate
+    !hits total min_rate
+
 let usage () =
   fail
     "usage: obs_check validate TRACE.jsonl [MIN_DEPTH] | obs_check bench FILE | obs_check \
      precond FILE | obs_check multigrid FILE | obs_check idle TRACE.jsonl MAX_SECONDS | \
-     obs_check regress BASELINE.json CURRENT.json [WALL_TOL]"
+     obs_check regress BASELINE.json CURRENT.json [WALL_TOL] | obs_check service FILE | \
+     obs_check hitrate TRACE.jsonl MIN_RATE"
 
 let () =
   match Array.to_list Sys.argv with
@@ -462,5 +574,10 @@ let () =
   | [ _; "regress"; base; cur; tol ] -> (
     match float_of_string_opt tol with
     | Some t when t >= 1. -> regress ~wall_tol:t base cur
+    | _ -> usage ())
+  | [ _; "service"; path ] -> service path
+  | [ _; "hitrate"; path; min_rate ] -> (
+    match float_of_string_opt min_rate with
+    | Some r when r >= 0. && r <= 1. -> hitrate path r
     | _ -> usage ())
   | _ -> usage ()

@@ -7,6 +7,8 @@
      calibrate   fit Model A's k1/k2 against the finite-volume reference
      case-study  run the section IV-E DRAM-uP analysis
      transient   step response and thermal time constant (extension)
+     chip        full-chip compact model with a hotspot (extension)
+     serve       batch request/response engine over stdin/stdout (JSONL)
      export      write the figures/tables as CSV files
      materials   list the material library *)
 
@@ -521,6 +523,50 @@ let chip_cmd =
       const run $ stack_t $ grid_t $ size_t $ power_t $ hotspot_t $ budget_t $ candidates_t
       $ domains_t)
 
+(* ------------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let module Engine = Ttsv_service.Engine in
+  let batch_t =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "requests read per batch; the batch is sharded across the worker domains and \
+             answered in input order before the next one is read")
+  in
+  let cap name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let operators_t = cap "cache-operators" 32 "assembled-operator cache capacity (LRU)" in
+  let preconds_t = cap "cache-preconds" 32 "preconditioner-setup cache capacity (LRU)" in
+  let solutions_t = cap "cache-solutions" 64 "warm-start solution cache capacity (LRU)" in
+  let run batch operators preconds solutions domains () =
+    with_pool domains @@ fun pool ->
+    let engine = Engine.create ~pool ~operators ~preconds ~solutions () in
+    let answered = Engine.serve ~batch engine stdin stdout in
+    Format.eprintf "served %d request(s), cache hit rate %.2f@." answered
+      (Engine.hit_rate engine)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"answer batched solve/sweep/chip-allocation requests over stdin/stdout"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Reads one ttsv.request.v1 JSON object per line from stdin and writes one \
+             ttsv.response.v1 object per line to stdout, in input order.  Repeated or \
+             nearby geometries are served from bounded LRU caches (assembled operators, \
+             preconditioner setups, warm-start solutions); malformed lines yield typed \
+             error responses, never a crash.  Combine with $(b,--trace)/$(b,--metrics) to \
+             profile a serving session with obs_report.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ batch_t $ operators_t $ preconds_t $ solutions_t $ domains_t $ obs_t)
+
 (* ------------------------------------------------------------------ export *)
 
 let export_cmd =
@@ -573,6 +619,7 @@ let main =
       case_cmd;
       transient_cmd;
       chip_cmd;
+      serve_cmd;
       export_cmd;
       materials_cmd;
     ]

@@ -37,6 +37,7 @@ val assemble :
 val try_solve :
   ?tol:float ->
   ?max_iter:int ->
+  ?x0:float array ->
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
@@ -52,8 +53,13 @@ val try_solve :
     are then above the coolant, not the die surface.  [on_iterate]
     observes every linear iteration.  Non-finite or non-positive
     conductivities and non-finite sources are rejected up front as
-    [Invalid_input].  [pool] parallelizes assembly and the iterative
-    rungs; results are bitwise identical to a sequential solve.
+    [Invalid_input].  [x0] warm-starts the iterative rungs from a
+    previous nearby solution (length-checked by the ladder); solving a
+    perturbed geometry from a neighbour's field typically converges in a
+    fraction of the cold-start iterations, which is what the service
+    layer's solution cache exploits.  [pool] parallelizes assembly and
+    the iterative rungs; results are bitwise identical to a sequential
+    solve.
     [rungs] overrides the escalation ladder (e.g. to pin a single
     preconditioner, as the CLI's [--precond] flag does).  [budget]
     bounds the ladder's wall-clock/work (the CLI's [--deadline]): when
@@ -63,6 +69,7 @@ val try_solve :
 val solve :
   ?tol:float ->
   ?max_iter:int ->
+  ?x0:float array ->
   ?bottom_h:float ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->

@@ -22,6 +22,7 @@ val assemble : ?pool:Ttsv_parallel.Pool.t -> Problem3.t -> Ttsv_numerics.Sparse.
 val try_solve :
   ?tol:float ->
   ?max_iter:int ->
+  ?x0:float array ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->
@@ -29,7 +30,8 @@ val try_solve :
   Problem3.t ->
   (result, Ttsv_robust.Robust.failure) Stdlib.result
 (** [try_solve p] assembles and solves ([tol] defaults to [1e-9]);
-    every failure is a typed {!Ttsv_robust.Robust.failure}.  [pool]
+    every failure is a typed {!Ttsv_robust.Robust.failure}.  [x0]
+    warm-starts the iterative rungs from a nearby solution.  [pool]
     parallelizes assembly and the iterative rungs without changing any
     computed bit.  [rungs] overrides the escalation ladder.  [budget]
     bounds the ladder's wall-clock/work: expiry yields an [Error] with
@@ -38,6 +40,7 @@ val try_solve :
 val solve :
   ?tol:float ->
   ?max_iter:int ->
+  ?x0:float array ->
   ?on_iterate:(int -> float -> unit) ->
   ?pool:Ttsv_parallel.Pool.t ->
   ?rungs:Ttsv_robust.Diagnostics.rung list ->

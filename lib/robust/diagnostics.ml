@@ -15,6 +15,7 @@ type attempt = {
   iterations : int;
   residual : float;
   wall_time : float;
+  conv : Ttsv_obs.History.snapshot option;
 }
 
 type t = {
@@ -123,6 +124,10 @@ let attempt_to_json a =
       ("iterations", Json.Int a.iterations);
       ("residual", Json.Float a.residual);
       ("wall_seconds", Json.Float a.wall_time);
+      ( "conv",
+        match a.conv with
+        | Some s -> Ttsv_obs.History.snapshot_to_json s
+        | None -> Json.Null );
     ]
 
 let to_json ?(max_trace = default_trace_cap) d =

@@ -33,6 +33,11 @@ type attempt = {
   iterations : int;  (** iterations this attempt spent (0 for direct) *)
   residual : float;  (** true relative residual after the attempt; NaN if skipped *)
   wall_time : float;  (** seconds *)
+  conv : Ttsv_obs.History.snapshot option;
+      (** this attempt's own bounded convergence history, kept even when
+          the ladder escalates past a failed rung — present only when
+          observability was enabled during the solve; [None] for direct
+          and skipped rungs *)
 }
 
 type t = {
@@ -44,7 +49,8 @@ type t = {
   conv : Ttsv_obs.History.snapshot option;
       (** bounded convergence history of the deciding attempt — present
           only when observability was enabled during the solve (see
-          {!Ttsv_numerics.Iterative.result}); [None] for direct solves *)
+          {!Ttsv_numerics.Iterative.result}); [None] for direct solves.
+          Failed rungs keep their own history in [attempts]. *)
   wall_time : float;  (** total seconds *)
 }
 
@@ -73,4 +79,5 @@ val to_json : ?max_trace:int -> t -> Ttsv_obs.Json.t
     like {!pp_trace}, with ["truncated"] set [true] and ["trace_len"]
     carrying the full history length.  ["conv"] carries the
     {!Ttsv_obs.History.snapshot} of the deciding attempt ([null] when
-    absent). *)
+    absent); each attempt additionally carries its own ["conv"], so an
+    escalated-past failure keeps its convergence history. *)

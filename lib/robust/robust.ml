@@ -214,6 +214,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             iterations = 0;
             residual = Float.nan;
             wall_time = Unix.gettimeofday () -. t0;
+            conv = None;
           };
         None
       | Ok precond ->
@@ -241,6 +242,10 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             iterations = r.Iterative.iterations;
             residual = r.Iterative.residual;
             wall_time = Unix.gettimeofday () -. t0;
+            (* per-attempt history: an escalated-past failure keeps its
+               convergence record instead of being overwritten by the
+               winning rung's *)
+            conv = r.Iterative.conv;
           };
         if r.Iterative.converged then Some r.Iterative.solution else None
     in
@@ -255,6 +260,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             iterations = 0;
             residual = Float.nan;
             wall_time = Unix.gettimeofday () -. t0;
+            conv = None;
           };
         None
       | Ok x ->
@@ -270,6 +276,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
             iterations = 0;
             residual = res;
             wall_time = Unix.gettimeofday () -. t0;
+            conv = None;
           };
         if ok then Some x else None
     in
@@ -324,6 +331,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
                   iterations = 0;
                   residual = Float.nan;
                   wall_time = Unix.gettimeofday () -. t0;
+                  conv = None;
                 };
               None
             | exception Budget.Expired v ->
@@ -336,6 +344,7 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?on_iterate ?stagnation_window ?divergenc
                   iterations = 0;
                   residual = Float.nan;
                   wall_time = Unix.gettimeofday () -. t0;
+                  conv = None;
                 };
               None
           in

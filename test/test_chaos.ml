@@ -451,7 +451,7 @@ let diagnostics_tests =
   [
     test "to_json with NaN/Inf residuals is valid JSON and parses back" (fun () ->
         let attempt rung outcome residual wall =
-          { Diagnostics.rung; outcome; iterations = 3; residual; wall_time = wall }
+          { Diagnostics.rung; outcome; iterations = 3; residual; wall_time = wall; conv = None }
         in
         let d =
           {

@@ -181,6 +181,24 @@ let property_tests =
         let r1 = Iterative.cg ~tol:1e-13 m b in
         let r2 = Iterative.cg ~tol:1e-10 ~x0:r1.Iterative.solution m b in
         r2.Iterative.iterations = 0 && r2.Iterative.converged);
+    (* the service solution cache's contract: on a reused operator with a
+       nearby right-hand side, seeding from the cached solution can only
+       save iterations, never add them *)
+    qtest ~count:30 "warm start on a reused operator never adds iterations"
+      (gen_spd_system 12)
+      (fun (m, b) ->
+        let cold = Iterative.cg ~tol:1e-10 m b in
+        let b' = Array.map (fun v -> v *. (1. +. 1e-8)) b in
+        let cold' = Iterative.cg ~tol:1e-10 m b' in
+        let warm = Iterative.cg ~tol:1e-10 ~x0:cold.Iterative.solution m b' in
+        warm.Iterative.converged
+        && warm.Iterative.iterations <= cold'.Iterative.iterations);
+    qtest ~count:20 "bicgstab warm start from the solution converges immediately"
+      (gen_spd_system 10)
+      (fun (m, b) ->
+        let r1 = Iterative.bicgstab ~tol:1e-12 m b in
+        let r2 = Iterative.bicgstab ~tol:1e-8 ~x0:r1.Iterative.solution m b in
+        r2.Iterative.converged && r2.Iterative.iterations = 0);
     (* budget 200 < the minimum guard window of 250, so both loops run the
        same pure sweep schedule and must agree bit for bit *)
     qtest ~count:30 "gauss-seidel sweep matches the O(n^2) reference exactly"

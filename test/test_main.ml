@@ -48,6 +48,7 @@ let all_suites =
     Test_precond.suite;
     Test_parallel.suite;
     Test_obs.suite;
+    Test_service.suite;
     Test_profile.suite;
     Test_golden.suite;
     Test_chaos.suite;

@@ -75,6 +75,33 @@ let ladder_tests =
             (match d.Diagnostics.attempts with
             | first :: _ -> first.Diagnostics.rung = Diagnostics.Cg_ic0
             | [] -> false));
+    test "a failed rung keeps its own convergence history after escalation" (fun () ->
+        (* per-attempt conv must survive escalation: the losing rung's
+           curve, not the winner's, is what explains the failure *)
+        let was_on = Ttsv_obs.Flags.metrics_on () in
+        Ttsv_obs.Config.enable_metrics ();
+        Fun.protect
+          ~finally:(fun () -> if not was_on then Ttsv_obs.Config.disable_metrics ())
+          (fun () ->
+            let m = small_nonsym () in
+            let b = [| 1.; 2.; 3. |] in
+            match
+              Robust.solve ~tol:1e-12 ~rungs:[ Diagnostics.Cg; Diagnostics.Direct ] m b
+            with
+            | Error f -> Alcotest.failf "ladder failed: %a" Robust.pp_failure f
+            | Ok (_, d) -> (
+              match d.Diagnostics.attempts with
+              | [ failed; direct ] ->
+                Alcotest.(check bool) "cg rung failed" true
+                  (failed.Diagnostics.outcome <> Diagnostics.Success);
+                (match failed.Diagnostics.conv with
+                | Some s ->
+                  Alcotest.(check string) "history is cg's" "cg" s.Ttsv_obs.History.meth;
+                  Alcotest.(check bool) "non-empty window" true (s.Ttsv_obs.History.total > 0)
+                | None -> Alcotest.fail "failed rung lost its convergence history");
+                Alcotest.(check bool) "direct rung records no iterative history" true
+                  (direct.Diagnostics.conv = None)
+              | l -> Alcotest.failf "expected 2 attempts, got %d" (List.length l))));
     test "both Krylov rungs break down; the direct rung rescues" (fun () ->
         let m = rotation () in
         let b = [| 1.; 2. |] in
